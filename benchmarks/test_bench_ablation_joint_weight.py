@@ -1,0 +1,64 @@
+"""Ablation — the multitasking trade-off knob (Fig. 5's joint weight).
+
+Sweeping the localization weight in the joint objective traces the
+Pareto front between coverage SNR and localization accuracy, making the
+design choice behind Fig. 5 explicit.
+"""
+
+from conftest import run_once
+
+from repro.analysis.cdf import summarize
+from repro.analysis.tables import render_table
+from repro.experiments import fig5
+
+WEIGHTS = (0.1, 0.3, 1.0)
+
+
+def run_weight_sweep():
+    rows = {}
+    for weight in WEIGHTS:
+        result = fig5.run(joint_weight=weight, panel_size=20)
+        errs = summarize(result.error_cdfs)
+        snrs = summarize(result.snr_cdfs)
+        rows[weight] = {
+            "err_p50": errs["Multi-tasking"]["p50"],
+            "snr_p50": snrs["Multi-tasking"]["p50"],
+            "cov_snr_p50": snrs["Coverage Opt"]["p50"],
+            "loc_err_p50": errs["Localization Opt"]["p50"],
+        }
+    return rows
+
+
+def test_bench_ablation_joint_weight(benchmark):
+    rows = run_once(benchmark, run_weight_sweep)
+    print()
+    print(
+        render_table(
+            (
+                "loc weight",
+                "MT median err (m)",
+                "MT median SNR (dB)",
+                "coverage-only SNR",
+                "loc-only err",
+            ),
+            [
+                (
+                    f"{w}",
+                    f"{rows[w]['err_p50']:.2f}",
+                    f"{rows[w]['snr_p50']:.1f}",
+                    f"{rows[w]['cov_snr_p50']:.1f}",
+                    f"{rows[w]['loc_err_p50']:.2f}",
+                )
+                for w in WEIGHTS
+            ],
+            title="Ablation: localization weight in the joint objective",
+        )
+    )
+    # More localization weight trades SNR for accuracy (weak
+    # monotonicity with slack for optimizer noise).
+    assert rows[1.0]["snr_p50"] <= rows[0.1]["snr_p50"] + 1.0
+    assert rows[1.0]["err_p50"] <= rows[0.1]["err_p50"] + 0.05
+    # Every weight keeps the multitask config usable on both metrics.
+    for w in WEIGHTS:
+        assert rows[w]["err_p50"] < 0.5
+        assert rows[w]["snr_p50"] > rows[w]["cov_snr_p50"] - 8.0

@@ -1,0 +1,38 @@
+"""Figure 4b — hardware cost vs achievable median SNR."""
+
+from conftest import run_once
+
+from repro.experiments import fig4
+
+
+def run_cost_sweep():
+    return fig4.run(
+        passive_sizes=(24, 48, 100),
+        programmable_sizes=(12, 22, 30),
+        hybrid_sizes=((64, 12), (80, 16)),
+    )
+
+
+def test_bench_fig4b(benchmark):
+    result = run_once(benchmark, run_cost_sweep)
+    print()
+    print(result.render_sweep())
+    print()
+    print(result.render_targets())
+    # The paper's headline: for high median-SNR targets the hybrid
+    # needs a fraction of the programmable-only hardware cost, and the
+    # passive-only approach saturates (cannot reach the target at any
+    # size — its doorway wedge geometrically caps the static flood).
+    target = 25.0
+    hybrid = result.cheapest_reaching("hybrid", target)
+    prog = result.cheapest_reaching("programmable-only", target)
+    passive = result.cheapest_reaching("passive-only", target)
+    assert hybrid is not None, "hybrid never reached the target"
+    assert prog is not None, "programmable-only never reached the target"
+    assert passive is None, "passive-only should saturate below 25 dB"
+    assert hybrid.cost_usd < 0.5 * prog.cost_usd
+    # Passive-only saturation: tripling the size gains (almost) nothing.
+    passive_medians = [
+        p.median_snr_db for p in result.points if p.strategy == "passive-only"
+    ]
+    assert max(passive_medians) - min(passive_medians) < 2.0

@@ -1,0 +1,38 @@
+"""Figure 4c — hardware area vs achievable median SNR."""
+
+from conftest import run_once
+
+from repro.experiments import fig4
+
+
+def run_area_sweep():
+    return fig4.run(
+        passive_sizes=(24, 48, 100),
+        programmable_sizes=(8, 16, 30),
+        hybrid_sizes=((64, 12), (80, 16)),
+    )
+
+
+def test_bench_fig4c(benchmark):
+    result = run_once(benchmark, run_area_sweep)
+    print()
+    print(result.render_targets())
+    # Size story: programmable hardware has the smallest spatial
+    # footprint ("re-configurability buys size"); passive-only cannot
+    # reach high targets at ANY area (the paper's "much larger hardware
+    # area size that may not fit"); the hybrid reaches them with a
+    # bounded area thanks to its programmable stage.
+    target = 25.0
+    prog = result.smallest_reaching("programmable-only", target)
+    hybrid = result.smallest_reaching("hybrid", target)
+    passive = result.smallest_reaching("passive-only", target)
+    assert prog is not None and hybrid is not None
+    assert passive is None
+    assert prog.area_m2 < hybrid.area_m2
+    # At a target passive-only CAN reach, it needs more area than the
+    # programmable panel that matches it.
+    low_target = 15.0
+    passive_low = result.smallest_reaching("passive-only", low_target)
+    prog_low = result.smallest_reaching("programmable-only", low_target)
+    assert passive_low is not None and prog_low is not None
+    assert passive_low.area_m2 > prog_low.area_m2

@@ -1,0 +1,21 @@
+"""Figure 5 — multitasking CDFs for joint localization + coverage."""
+
+from conftest import run_once
+
+from repro.experiments import fig5
+
+
+def test_bench_fig5(benchmark):
+    result = run_once(benchmark, fig5.run)
+    print()
+    print(result.render())
+    errs = {name: cdf.median for name, cdf in result.error_cdfs.items()}
+    snrs = {name: cdf.median for name, cdf in result.snr_cdfs.items()}
+    # Multitasking matches the localization specialist on its metric …
+    assert errs["Multi-tasking"] <= errs["Localization Opt"] + 0.1
+    # … and stays close to the coverage specialist on SNR (the paper's
+    # "little performance loss"), …
+    assert snrs["Multi-tasking"] >= snrs["Coverage Opt"] - 4.0
+    # … while each specialist clearly loses on the other metric.
+    assert errs["Coverage Opt"] > 3 * errs["Multi-tasking"] + 0.2
+    assert snrs["Localization Opt"] < snrs["Multi-tasking"] - 5.0

@@ -1,0 +1,18 @@
+"""Figure 6 — LLM translating user demands into service calls."""
+
+from repro.experiments import fig6
+
+
+def test_bench_fig6(benchmark):
+    result = benchmark(fig6.run)
+    print()
+    print(result.render())
+    # Every paper case (and extras) must translate to the expected
+    # validated service calls.
+    assert result.all_match
+    # Both verbatim paper inputs are covered.
+    inputs = [c.user_input for c in result.cases]
+    assert "I want to start VR gaming in this room." in inputs
+    assert (
+        "I want to have an online meeting while charging my phone." in inputs
+    )

@@ -1,0 +1,19 @@
+"""Table 1 — regenerate the hardware catalog table."""
+
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark):
+    result = benchmark(table1.run)
+    print()
+    print(result.render())
+    # All 13 rows of the paper's table, in its order.
+    assert len(result.rows) == 13
+    assert result.rows[0][0] == "LAIA"
+    assert result.rows[-1][0] == "AutoMS"
+    # The paper's cost spread: programmable mmWave hardware costs
+    # dollars per element, passive sheets fractions of a cent.
+    mmwall = next(r for r in result.rows if r[0] == "mmWall")
+    automs = next(r for r in result.rows if r[0] == "AutoMS")
+    assert "2.5" in mmwall[4]
+    assert "e-05" in automs[4]

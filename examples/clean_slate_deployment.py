@@ -1,0 +1,118 @@
+"""Clean-slate automation: goal → design → placement → tenants.
+
+The paper's §5 future-work stages, end to end:
+
+1. a natural-language hardware request is parsed against the design
+   database ("LLMs can locate an appropriate design from a surface
+   design database"),
+2. the deployment planner compiles the coverage goal into ranked
+   (design, site, size) plans by simulating candidate placements,
+3. the winning plan is installed and SurfOS boots on it,
+4. the environment is virtualized between two tenants with isolated
+   budgets, and both are served by one joint optimization.
+
+Run with::
+
+    python examples/clean_slate_deployment.py
+"""
+
+from repro import SurfOS, ghz
+from repro.autodesign import DeploymentGoal, DeploymentPlanner
+from repro.geometry import apartment_sites, two_room_apartment
+from repro.hwmgr import AccessPoint, ClientDevice
+from repro.llm import recommend_designs
+from repro.orchestrator import Adam
+from repro.orchestrator.virtualization import Hypervisor, TenantPolicy
+from repro.surfaces import SurfacePanel
+
+FREQUENCY = ghz(28)
+
+
+def main() -> None:
+    env = two_room_apartment()
+    sites = apartment_sites()
+    ap = AccessPoint(
+        "ap", sites.ap_position, 4, FREQUENCY, boresight=(1, 0.3, 0)
+    )
+
+    # 1. Hardware request → design database.
+    request = "a steerable phase surface for 28 GHz coverage"
+    print(f"hardware request: {request!r}")
+    for spec in recommend_designs(request):
+        print(
+            f"  candidate: {spec.design} "
+            f"(${spec.cost_per_element_usd:.2f}/element)"
+        )
+
+    # 2. Coverage goal → ranked deployment plans.
+    planner = DeploymentPlanner(
+        env,
+        ap,
+        optimizer=Adam(max_iterations=60),
+        size_ladder=(8, 12, 16, 24),
+        max_sites=4,
+        grid_spacing_m=0.9,
+    )
+    goal = DeploymentGoal(
+        room_id="bedroom",
+        target_median_snr_db=20.0,
+        frequency_hz=FREQUENCY,
+        require_reconfigurable=True,
+    )
+    plans = planner.plan(goal)
+    print("\ndeployment plans (best first):")
+    for i, plan in enumerate(plans, 1):
+        print(f"  {i}. {plan.describe()}")
+    chosen = plans[0]
+
+    # 3. Install the winning plan and boot SurfOS on it.
+    system = SurfOS(
+        env,
+        frequency_hz=FREQUENCY,
+        optimizer=Adam(max_iterations=60),
+        grid_spacing_m=0.9,
+    )
+    system.add_access_point(ap)
+    system.add_surface(
+        SurfacePanel(
+            "planned",
+            chosen.spec,
+            chosen.side_elements,
+            chosen.side_elements,
+            chosen.site.center,
+            chosen.site.normal,
+        )
+    )
+    system.add_client(ClientDevice("phone", (6.5, 1.5, 1.0)))
+    system.add_client(ClientDevice("sensor-hub", (7.5, 3.0, 1.0)))
+    system.boot()
+    print(f"\ninstalled: {chosen.describe()}")
+
+    # 4. Virtualize between two tenants and serve both.
+    hypervisor = Hypervisor(system.orchestrator)
+    home = hypervisor.create_tenant(
+        TenantPolicy(
+            "homeowner", allowed_rooms=("bedroom",), max_priority=7,
+            time_budget=0.6,
+        )
+    )
+    iot = hypervisor.create_tenant(
+        TenantPolicy("iot-operator", max_priority=4, time_budget=0.4)
+    )
+    home.optimize_coverage("bedroom", median_snr=20.0, time_fraction=0.6)
+    iot.enhance_link("sensor-hub", snr=15.0, time_fraction=0.4)
+    system.reoptimize()
+
+    print("\ntenant usage after one joint optimization:")
+    for name, usage in hypervisor.usage_report().items():
+        print(f"  {name}: {usage}")
+    for name in ("homeowner", "iot-operator"):
+        for task in hypervisor.tenant(name).tasks():
+            print(
+                f"  {name}/{task.service.value}: {task.state.value}, "
+                f"median SNR {task.metrics.get('median_snr_db', float('nan')):.1f} dB"
+            )
+
+
+if __name__ == "__main__":
+    main()

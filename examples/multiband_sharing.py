@@ -1,0 +1,107 @@
+"""Frequency-division multiplexing on a wideband surface (Scrolls-style).
+
+Two networks — 2.4 GHz and 5 GHz Wi-Fi — share one rolling wideband
+surface whose rows tune to distinct resonant bands (the paper's Table 1
+"Scrolls" design, row-wise frequency control).  SurfOS allocates rows
+across the two networks; a row helps a network only while tuned to its
+band, so the row allocation is a literal frequency-axis resource slice
+(§3.2's frequency division multiplexing).
+
+Sub-6 GHz penetrates the apartment's walls, so the direct path already
+covers the bedroom; the surface's value is at the *shadowed tail* of
+the room — we report each network's 90th-percentile per-point gain and
+the fraction of locations improved by ≥3 dB.
+
+Run with::
+
+    python examples/multiband_sharing.py
+"""
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.channel import ChannelSimulator, ula_node
+from repro.core.units import ghz
+from repro.drivers import FrequencySelectiveDriver
+from repro.em import LinkBudget
+from repro.geometry import apartment_sites, two_room_apartment
+from repro.services import snr_map_db
+from repro.surfaces import CATALOG, SurfacePanel
+
+BANDS = [(ghz(2.3), ghz(2.5)), (ghz(4.9), ghz(5.1))]
+CARRIERS = {"2.4GHz-net": ghz(2.4), "5GHz-net": ghz(5.0)}
+
+
+def gain_stats(model, panel, driver, carrier, budget):
+    """(p90 gain, fraction ≥3 dB) of the surface's per-point SNR gain."""
+    baseline = snr_map_db(
+        model, {panel.panel_id: np.zeros(panel.num_elements)}, budget
+    )
+    x = driver.effective_configuration(carrier).coefficients().reshape(-1)
+    with_rows = snr_map_db(model, {panel.panel_id: x}, budget)
+    gains = with_rows - baseline
+    return float(np.percentile(gains, 90)), float(np.mean(gains >= 3.0))
+
+
+def main() -> None:
+    env = two_room_apartment()
+    sites = apartment_sites()
+    budget = LinkBudget(tx_power_dbm=17.0, bandwidth_hz=40e6)
+    points = env.room("bedroom").grid(0.6, z=1.0)
+
+    panel = SurfacePanel(
+        "scrolls",
+        CATALOG["Scrolls"].spec,
+        24,
+        24,
+        sites.single_surface_center,
+        sites.single_surface_normal,
+    )
+    driver = FrequencySelectiveDriver(panel, bands_hz=BANDS)
+
+    models = {}
+    for name, carrier in CARRIERS.items():
+        ap = ula_node(
+            f"ap-{name}", sites.ap_position, 2, carrier, (0, 0, 1), (1, 0.3, 0)
+        )
+        models[name] = ChannelSimulator(env, carrier).build(ap, points, [panel])
+
+    scenarios = {
+        "all rows → 2.4 GHz": {0: 1.0},
+        "all rows → 5 GHz": {1: 1.0},
+        "shared 50/50": {0: 1.0, 1: 1.0},
+        "demand-weighted 1:3 (video on 5 GHz)": {0: 1.0, 1: 3.0},
+    }
+
+    rows = []
+    for label, demands in scenarios.items():
+        allocation = driver.allocate_rows(demands)
+        cells = [label, f"{allocation.get(0, 0)}/{allocation.get(1, 0)}"]
+        for name, carrier in CARRIERS.items():
+            p90, frac = gain_stats(
+                models[name], panel, driver, carrier, budget
+            )
+            cells.append(f"+{p90:.1f} dB / {frac * 100:.0f}%")
+        rows.append(tuple(cells))
+
+    print(
+        render_table(
+            (
+                "row allocation",
+                "rows 2.4/5",
+                "2.4 GHz gain (p90 / ≥3dB)",
+                "5 GHz gain (p90 / ≥3dB)",
+            ),
+            rows,
+            title="Frequency-division multiplexing on one wideband surface",
+        )
+    )
+    print(
+        "\nRows tuned to a network's band lift its shadowed locations; "
+        "rows tuned away contribute only off-resonance leakage. The "
+        "allocation is the scheduler's frequency-axis slice."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Surface multitasking: one configuration, two services.
+
+The paper's Figure 5 study as a runnable script: a single shared
+surface configuration jointly optimized for coverage *and* AoA-based
+localization, compared against single-task specialists.
+
+Run with::
+
+    python examples/multitask_sensing.py
+"""
+
+from repro.analysis.cdf import summarize
+from repro.experiments import fig5
+
+
+def main() -> None:
+    result = fig5.run()
+    print(result.render())
+
+    errs = summarize(result.error_cdfs)
+    snrs = summarize(result.snr_cdfs)
+    mt_err = errs["Multi-tasking"]["p50"]
+    mt_snr = snrs["Multi-tasking"]["p50"]
+    cov_snr = snrs["Coverage Opt"]["p50"]
+    loc_err = errs["Localization Opt"]["p50"]
+
+    print(
+        "\nTakeaway: the multitask configuration localizes within "
+        f"{mt_err:.2f} m (specialist: {loc_err:.2f} m) while giving up "
+        f"only {cov_snr - mt_snr:.1f} dB of median SNR vs the coverage "
+        "specialist — one surface, both services, no time slicing."
+    )
+
+
+if __name__ == "__main__":
+    main()

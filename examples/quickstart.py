@@ -1,0 +1,62 @@
+"""Quickstart: boot SurfOS, request services, inspect results.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import SurfOS, ghz
+from repro.geometry import apartment_sites, two_room_apartment
+from repro.hwmgr import AccessPoint, ClientDevice
+from repro.surfaces import GENERIC_PROGRAMMABLE_28, SurfacePanel
+
+
+def main() -> None:
+    # 1. The radio environment: a two-room apartment whose concrete
+    #    partition blocks mmWave into the bedroom.
+    env = two_room_apartment()
+    sites = apartment_sites()
+    frequency = ghz(28)
+
+    # 2. SurfOS manages the hardware: one AP, one programmable surface
+    #    on the bedroom wall, and the user's devices.
+    system = SurfOS(env, frequency_hz=frequency, grid_spacing_m=0.8)
+    system.add_access_point(
+        AccessPoint("ap", sites.ap_position, 4, frequency, boresight=(1, 0.3, 0))
+    )
+    system.add_surface(
+        SurfacePanel(
+            "wall-panel",
+            GENERIC_PROGRAMMABLE_28,
+            20,
+            20,
+            sites.single_surface_center,
+            sites.single_surface_normal,
+        )
+    )
+    system.add_client(ClientDevice("phone", (6.5, 1.5, 1.0)))
+    system.boot()
+    print(system.summary())
+
+    # 3. Request services through the orchestrator's high-level APIs —
+    #    no surface ids anywhere; SurfOS decides which hardware serves.
+    coverage = system.orchestrator.optimize_coverage("bedroom", median_snr=20.0)
+    link = system.orchestrator.enhance_link("phone", snr=25.0)
+
+    # 4. One joint optimization serves both tasks with a single shared
+    #    configuration (configuration multiplexing).
+    system.reoptimize()
+
+    print(f"\ncoverage task:  {coverage.state.value}  metrics={coverage.metrics}")
+    print(f"link task:      {link.state.value}  metrics={link.metrics}")
+
+    # 5. The hardware manager shows what actually hit the hardware.
+    for surface_id, config in system.hardware.snapshot().items():
+        print(
+            f"\nsurface {surface_id!r}: live configuration "
+            f"{config.shape[0]}x{config.shape[1]} ({config.name})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network, so
+PEP 660 editable installs fail; ``pip install -e . --no-use-pep517``
+falls back to this shim and works offline.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

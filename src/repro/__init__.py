@@ -1,0 +1,47 @@
+"""SurfOS: an operating system for programmable radio environments.
+
+A full Python implementation of the HotNets '24 vision paper —
+hardware manager, surface orchestrator, service broker, LLM-assisted
+automation — plus every substrate it needs: a geometric channel
+simulator, surface hardware models (the paper's Table 1 catalog),
+drivers, optimizers, and a runtime daemon.
+
+Quickstart::
+
+    from repro import SurfOS, ghz
+    from repro.geometry import two_room_apartment, apartment_sites
+    from repro.hwmgr import AccessPoint, ClientDevice
+    from repro.surfaces import SurfacePanel, GENERIC_PROGRAMMABLE_28
+
+    env = two_room_apartment()
+    sites = apartment_sites()
+    os = SurfOS(env, frequency_hz=ghz(28))
+    os.add_access_point(
+        AccessPoint("ap", sites.ap_position, 4, ghz(28), boresight=(1, 0.3, 0))
+    )
+    os.add_surface(
+        SurfacePanel("s1", GENERIC_PROGRAMMABLE_28, 16, 16,
+                     sites.single_surface_center, sites.single_surface_normal)
+    )
+    os.add_client(ClientDevice("phone", (6.5, 1.5, 1.0)))
+    os.boot()
+    tasks = os.handle_user_demand("I want to start VR gaming in this room.")
+    os.reoptimize()
+"""
+
+from .core.configuration import Granularity, SurfaceConfiguration
+from .core.errors import SurfOSError
+from .core.kernel import SurfOS
+from .core.units import ghz, mhz
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Granularity",
+    "SurfOS",
+    "SurfOSError",
+    "SurfaceConfiguration",
+    "__version__",
+    "ghz",
+    "mhz",
+]

@@ -1,0 +1,7 @@
+"""Analysis helpers: CDFs, heatmaps, text tables."""
+
+from .cdf import EmpiricalCDF, cdf_table, summarize
+from .heatmap import Heatmap
+from .tables import render_table
+
+__all__ = ["EmpiricalCDF", "Heatmap", "cdf_table", "render_table", "summarize"]

@@ -1,0 +1,84 @@
+"""Spatial heatmaps over room grids (the paper's Figs. 2 and 4a).
+
+Benchmarks run headless, so heatmaps render as ASCII shade ramps —
+enough to see beams, shadows, and doorway leaks in a terminal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+_RAMP = " .:-=+*#%@"
+
+
+@dataclass(frozen=True)
+class Heatmap:
+    """Values sampled on a regular 2-D grid of points.
+
+    Built from the ``(K, 3)`` point array a room grid produced and the
+    matching ``(K,)`` values; reconstructs the grid axes from the
+    unique coordinates.
+    """
+
+    points: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        points = np.atleast_2d(np.asarray(self.points, dtype=float))
+        values = np.asarray(self.values, dtype=float).reshape(-1)
+        if points.shape[0] != values.size:
+            raise ValueError(
+                f"{points.shape[0]} points but {values.size} values"
+            )
+        object.__setattr__(self, "points", points)
+        object.__setattr__(self, "values", values)
+
+    def grid(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(xs, ys, Z) with Z[y, x] the value grid (NaN where missing)."""
+        xs = np.unique(np.round(self.points[:, 0], 6))
+        ys = np.unique(np.round(self.points[:, 1], 6))
+        z = np.full((ys.size, xs.size), np.nan)
+        xi = {x: i for i, x in enumerate(xs)}
+        yi = {y: i for i, y in enumerate(ys)}
+        for point, value in zip(self.points, self.values):
+            z[yi[round(point[1], 6)], xi[round(point[0], 6)]] = value
+        return xs, ys, z
+
+    def stats(self) -> Dict[str, float]:
+        """Summary statistics of the sampled values."""
+        return {
+            "min": float(self.values.min()),
+            "median": float(np.median(self.values)),
+            "mean": float(self.values.mean()),
+            "max": float(self.values.max()),
+        }
+
+    def render(
+        self,
+        lo: Optional[float] = None,
+        hi: Optional[float] = None,
+        title: str = "",
+    ) -> str:
+        """ASCII rendering, north (max y) at the top."""
+        xs, ys, z = self.grid()
+        lo = float(np.nanmin(z)) if lo is None else lo
+        hi = float(np.nanmax(z)) if hi is None else hi
+        span = hi - lo if hi > lo else 1.0
+        lines = []
+        if title:
+            lines.append(title)
+        for row in z[::-1]:
+            chars = []
+            for value in row:
+                if np.isnan(value):
+                    chars.append(" ")
+                else:
+                    level = (value - lo) / span
+                    idx = int(np.clip(level, 0.0, 1.0) * (len(_RAMP) - 1))
+                    chars.append(_RAMP[idx])
+            lines.append("".join(chars))
+        lines.append(f"scale: '{_RAMP[0]}'={lo:.1f} → '{_RAMP[-1]}'={hi:.1f}")
+        return "\n".join(lines)

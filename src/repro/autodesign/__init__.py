@@ -1,0 +1,26 @@
+"""Design & deployment automation (the paper's §5 clean-slate stage)."""
+
+from .designdb import DesignQuery, adapt_design, find_design, select_designs
+from .planner import DEFAULT_SIZE_LADDER, DeploymentPlan, DeploymentPlanner
+from .requirements import DeploymentGoal
+from .sites import (
+    CandidateSite,
+    enumerate_sites,
+    sites_facing_room,
+    sites_seeing_point,
+)
+
+__all__ = [
+    "CandidateSite",
+    "DEFAULT_SIZE_LADDER",
+    "DeploymentGoal",
+    "DeploymentPlan",
+    "DeploymentPlanner",
+    "DesignQuery",
+    "adapt_design",
+    "enumerate_sites",
+    "find_design",
+    "select_designs",
+    "sites_facing_room",
+    "sites_seeing_point",
+]

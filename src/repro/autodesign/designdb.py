@@ -1,0 +1,119 @@
+"""The surface design database (§5 design automation).
+
+"For design automation, based on the user input, LLMs can locate an
+appropriate design from a surface design database.  If existing designs
+are inadequate … determine the necessary design parameter adjustments."
+
+The database is the Table 1 catalog plus the generic experiment
+designs; :func:`select_designs` ranks candidates against a query, and
+:func:`adapt_design` re-parameterizes the nearest design when no
+catalog entry covers the requested band — the deterministic stand-in
+for the LLM-driven adjustment step.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.errors import ServiceError
+from ..surfaces.catalog import CATALOG, GENERIC_DESIGNS
+from ..surfaces.specs import SignalProperty, SurfaceSpec
+
+
+@dataclass(frozen=True)
+class DesignQuery:
+    """What the deployment needs from a hardware design.
+
+    Attributes:
+        frequency_hz: carrier the surface must operate at.
+        reconfigurable: require (True) / forbid (False) / accept (None)
+            dynamic reconfiguration.
+        max_cost_per_element_usd: unit-cost ceiling.
+        properties: required control modalities (default: phase).
+    """
+
+    frequency_hz: float
+    reconfigurable: Optional[bool] = None
+    max_cost_per_element_usd: float = math.inf
+    properties: Tuple[SignalProperty, ...] = (SignalProperty.PHASE,)
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ServiceError("query carrier must be positive")
+        if not self.properties:
+            raise ServiceError("query needs at least one property")
+
+
+def _all_specs() -> List[SurfaceSpec]:
+    specs = [entry.spec for entry in CATALOG.values()]
+    specs.extend(GENERIC_DESIGNS.values())
+    return specs
+
+
+def _matches(spec: SurfaceSpec, query: DesignQuery) -> bool:
+    if not spec.in_band(query.frequency_hz):
+        return False
+    if (
+        query.reconfigurable is not None
+        and spec.reconfigurable is not query.reconfigurable
+    ):
+        return False
+    if spec.cost_per_element_usd > query.max_cost_per_element_usd:
+        return False
+    return all(spec.supports(p) for p in query.properties)
+
+
+def select_designs(query: DesignQuery) -> List[SurfaceSpec]:
+    """Catalog designs satisfying a query, cheapest-per-element first."""
+    matches = [s for s in _all_specs() if _matches(s, query)]
+    return sorted(matches, key=lambda s: s.cost_per_element_usd)
+
+
+def adapt_design(query: DesignQuery) -> SurfaceSpec:
+    """Re-parameterize the nearest design for an uncovered band.
+
+    Picks the band-closest design that satisfies the non-band
+    constraints and shifts its operating band to the requested carrier
+    (±4 %), keeping the element economics — the §5 "design parameter
+    adjustments" path a real deployment would hand to EM simulation.
+    """
+    candidates = [
+        s
+        for s in _all_specs()
+        if all(s.supports(p) for p in query.properties)
+        and (
+            query.reconfigurable is None
+            or s.reconfigurable is query.reconfigurable
+        )
+        and s.cost_per_element_usd <= query.max_cost_per_element_usd
+    ]
+    if not candidates:
+        raise ServiceError(
+            "no design satisfies the non-band constraints; relax the query"
+        )
+    nearest = min(
+        candidates,
+        key=lambda s: abs(
+            math.log(s.center_frequency_hz / query.frequency_hz)
+        ),
+    )
+    return dataclasses.replace(
+        nearest,
+        design=f"{nearest.design}@{query.frequency_hz / 1e9:g}GHz",
+        band_hz=(0.96 * query.frequency_hz, 1.04 * query.frequency_hz),
+        notes=(
+            f"adapted from {nearest.design} for "
+            f"{query.frequency_hz / 1e9:g} GHz; requires EM re-simulation"
+        ),
+    )
+
+
+def find_design(query: DesignQuery) -> SurfaceSpec:
+    """A design for the query: catalog hit if any, else adapted."""
+    matches = select_designs(query)
+    if matches:
+        return matches[0]
+    return adapt_design(query)

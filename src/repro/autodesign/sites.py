@@ -1,0 +1,141 @@
+"""Candidate mounting sites for deployment automation (§5).
+
+Placement automation needs a menu of physically meaningful mounting
+positions: points on walls, at mounting height, with the panel normal
+facing into the floor plan.  Sites are enumerated along every wall
+footprint at a fixed pitch and can be filtered to those with (partial)
+line of sight to the AP or the target room.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..geometry.environment import Environment
+from ..geometry.shapes import Wall
+from ..geometry.vec import as_vec3
+
+#: Offset off the wall plane so panels never sit inside the wall.
+_WALL_CLEARANCE_M = 0.02
+
+
+@dataclass(frozen=True)
+class CandidateSite:
+    """One wall-mounted candidate position.
+
+    Attributes:
+        center: panel center position.
+        normal: outward panel normal (into the room).
+        wall_name: which wall hosts the site (diagnostics).
+    """
+
+    center: np.ndarray
+    normal: np.ndarray
+    wall_name: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "center", as_vec3(self.center))
+        object.__setattr__(self, "normal", as_vec3(self.normal))
+
+
+def _interior_normal(env: Environment, wall: Wall) -> Optional[np.ndarray]:
+    """The wall normal pointing into the floor plan, or None if unclear."""
+    lo, hi = env.bounds()
+    interior = (lo + hi) / 2.0
+    n = wall.normal2d()
+    midpoint = (wall.start + wall.end) / 2.0
+    if float(np.dot(interior - midpoint, n)) >= 0:
+        return n
+    return -n
+
+
+def enumerate_sites(
+    env: Environment,
+    spacing_m: float = 1.0,
+    height_m: float = 1.8,
+    margin_m: float = 0.4,
+) -> List[CandidateSite]:
+    """Wall-mounted candidate sites along every wall footprint.
+
+    Sites sit ``height_m`` up the wall, ``margin_m`` in from the wall
+    ends, every ``spacing_m`` along the footprint, facing the interior.
+    Both faces are emitted for interior walls whose two sides face
+    rooms; exterior walls get only their interior face.
+    """
+    if spacing_m <= 0:
+        raise ValueError("site spacing must be positive")
+    sites: List[CandidateSite] = []
+    for wall in env.walls:
+        if wall.z_max < height_m:
+            continue
+        direction = (wall.end - wall.start)[:2]
+        length = float(np.linalg.norm(direction))
+        usable = length - 2 * margin_m
+        if usable <= 0:
+            continue
+        unit = np.array([direction[0], direction[1], 0.0]) / length
+        count = max(1, int(usable // spacing_m) + 1)
+        offsets = np.linspace(margin_m, length - margin_m, count)
+        normal = _interior_normal(env, wall)
+        if normal is None:
+            continue
+        for offset in offsets:
+            base = wall.start + unit * offset
+            center = base + normal * _WALL_CLEARANCE_M
+            center[2] = height_m
+            sites.append(
+                CandidateSite(
+                    center=center, normal=normal, wall_name=wall.name
+                )
+            )
+    return sites
+
+
+def sites_facing_room(
+    env: Environment,
+    sites: Sequence[CandidateSite],
+    room_id: str,
+    min_visible_fraction: float = 0.3,
+    sample_spacing_m: float = 1.0,
+) -> List[CandidateSite]:
+    """Filter sites that see a useful fraction of a room.
+
+    Visibility is a straight line-of-sight test from the site to a
+    coarse grid of room points, requiring the point to lie in front of
+    the panel face.
+    """
+    room = env.room(room_id)
+    samples = room.grid(sample_spacing_m, z=1.0)
+    kept = []
+    for site in sites:
+        visible = 0
+        for point in samples:
+            if float(np.dot(point - site.center, site.normal)) <= 0:
+                continue
+            if env.is_line_of_sight(site.center, point):
+                visible += 1
+        if visible / samples.shape[0] >= min_visible_fraction:
+            kept.append(site)
+    return kept
+
+
+def sites_seeing_point(
+    env: Environment,
+    sites: Sequence[CandidateSite],
+    point: Sequence[float],
+    max_loss_db: float = 20.0,
+    frequency_hz: float = 28e9,
+) -> List[CandidateSite]:
+    """Filter sites with an adequately clear path to a point (the AP)."""
+    target = as_vec3(point)
+    kept = []
+    for site in sites:
+        if float(np.dot(target - site.center, site.normal)) <= 0:
+            continue
+        loss = env.penetration_loss_db(site.center, target, frequency_hz)
+        if loss <= max_loss_db:
+            kept.append(site)
+    return kept

@@ -1,0 +1,28 @@
+"""Service broker layer: demands, profiles, translation, daemon."""
+
+from .broker import ServedApplication, ServiceBroker
+from .calls import SERVICE_SIGNATURES, ServiceCall
+from .demands import ApplicationDemand
+from .profiles import PROFILES, demand_for
+from .translation import (
+    BASE_MARGIN_DB,
+    LATENCY_MARGIN_DB,
+    SHANNON_EFFICIENCY,
+    required_snr_db,
+    translate_demand,
+)
+
+__all__ = [
+    "ApplicationDemand",
+    "BASE_MARGIN_DB",
+    "LATENCY_MARGIN_DB",
+    "PROFILES",
+    "SERVICE_SIGNATURES",
+    "SHANNON_EFFICIENCY",
+    "ServedApplication",
+    "ServiceBroker",
+    "ServiceCall",
+    "demand_for",
+    "required_snr_db",
+    "translate_demand",
+]

@@ -1,0 +1,138 @@
+"""The service broker daemon (§3.3).
+
+"For existing applications not aware of surfaces, we introduce a
+service broker, as a base application (a daemon), that invokes services
+based on their demands."  The broker registers applications, translates
+their demands into service calls, submits them to the orchestrator, and
+tracks whether achieved metrics satisfy the demands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.errors import ServiceError, TranslationError
+from ..llm.intent import dispatch_calls
+from ..orchestrator.tasks import ServiceTask, TaskState
+from .calls import ServiceCall
+from .demands import ApplicationDemand
+from .profiles import demand_for
+from .translation import required_snr_db, translate_demand
+
+
+@dataclass
+class ServedApplication:
+    """Broker-side record of one registered application."""
+
+    demand: ApplicationDemand
+    calls: List[ServiceCall]
+    tasks: List[ServiceTask]
+
+    @property
+    def active(self) -> bool:
+        """Whether any of the application's tasks still runs."""
+        return any(not t.is_terminal for t in self.tasks)
+
+
+class ServiceBroker:
+    """Serves surface-unaware applications over the orchestrator."""
+
+    def __init__(self, orchestrator):
+        self.orchestrator = orchestrator
+        self._apps: Dict[str, ServedApplication] = {}
+
+    # ------------------------------------------------------------------
+
+    def register_application(
+        self, demand: ApplicationDemand
+    ) -> ServedApplication:
+        """Translate a demand and submit its service tasks."""
+        key = f"{demand.app_name}@{demand.client_id}"
+        if key in self._apps and self._apps[key].active:
+            raise ServiceError(f"application {key!r} already served")
+        calls = translate_demand(demand, self.orchestrator.budget)
+        tasks = dispatch_calls(calls, self.orchestrator)
+        served = ServedApplication(demand=demand, calls=calls, tasks=tasks)
+        self._apps[key] = served
+        return served
+
+    def register_profile(
+        self, app_name: str, client_id: str, room_id: str, **overrides
+    ) -> ServedApplication:
+        """Register an application by archetype name."""
+        return self.register_application(
+            demand_for(app_name, client_id, room_id, **overrides)
+        )
+
+    def stop_application(self, app_name: str, client_id: str) -> None:
+        """Complete every task an application holds."""
+        key = f"{app_name}@{client_id}"
+        served = self._apps.get(key)
+        if served is None:
+            raise ServiceError(f"unknown application {key!r}")
+        for task in served.tasks:
+            if not task.is_terminal:
+                self.orchestrator.complete_task(task.task_id)
+
+    def applications(self) -> List[ServedApplication]:
+        """All registered applications."""
+        return list(self._apps.values())
+
+    # ------------------------------------------------------------------
+
+    def satisfaction(self, served: ServedApplication) -> Dict[str, object]:
+        """Compare achieved metrics against the application's demand.
+
+        Returns a report with the per-requirement verdicts the broker
+        uses to decide re-optimization or escalation.
+        """
+        report: Dict[str, object] = {
+            "app": served.demand.app_name,
+            "client": served.demand.client_id,
+        }
+        if served.demand.throughput_mbps > 0:
+            target = required_snr_db(served.demand, self.orchestrator.budget)
+            link_tasks = [
+                t
+                for t in served.tasks
+                if "median_snr_db" in t.metrics
+                and t.goal.get("client") == served.demand.client_id
+            ]
+            achieved = max(
+                (t.metrics["median_snr_db"] for t in link_tasks),
+                default=float("-inf"),
+            )
+            report["target_snr_db"] = round(target, 1)
+            report["achieved_snr_db"] = round(achieved, 1)
+            report["link_satisfied"] = achieved >= target
+        if served.demand.needs_sensing:
+            sensing_tasks = [
+                t for t in served.tasks if t.service.value == "sensing"
+            ]
+            report["sensing_active"] = any(
+                t.state is TaskState.RUNNING for t in sensing_tasks
+            )
+        if served.demand.needs_security:
+            margins = [
+                t.metrics.get("secrecy_margin_db")
+                for t in served.tasks
+                if t.service.value == "security"
+            ]
+            margins = [m for m in margins if m is not None]
+            report["secrecy_margin_db"] = (
+                round(max(margins), 1) if margins else None
+            )
+            report["security_satisfied"] = bool(margins) and max(margins) > 0
+        return report
+
+    def unsatisfied(self) -> List[ServedApplication]:
+        """Applications whose link requirement is currently missed."""
+        missed = []
+        for served in self._apps.values():
+            if not served.active:
+                continue
+            report = self.satisfaction(served)
+            if report.get("link_satisfied") is False:
+                missed.append(served)
+        return missed

@@ -1,0 +1,98 @@
+"""Service calls: the validated form of a SurfOS API invocation.
+
+Both the service broker (translating application demands) and the LLM
+layer (translating natural language) produce :class:`ServiceCall`
+objects; the dispatcher turns them into orchestrator API invocations.
+Keeping an explicit, validated intermediate form is what makes
+LLM-generated calls safe to execute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+from ..core.errors import TranslationError
+
+#: Function name → (required kwargs, optional kwargs with types).
+SERVICE_SIGNATURES: Dict[str, Tuple[Dict[str, type], Dict[str, type]]] = {
+    "enhance_link": (
+        {"client_id": str},
+        {"snr": float, "latency": float, "priority": int},
+    ),
+    "optimize_coverage": (
+        {"room_id": str},
+        {"median_snr": float, "priority": int},
+    ),
+    "enable_sensing": (
+        {"room_id": str},
+        {"type": str, "duration": float, "priority": int},
+    ),
+    "init_powering": (
+        {"client_id": str},
+        {"duration": float, "priority": int},
+    ),
+    "protect_link": (
+        {"client_id": str},
+        {"eavesdropper_position": tuple, "nulling_weight": float, "priority": int},
+    ),
+}
+
+
+@dataclass(frozen=True)
+class ServiceCall:
+    """One validated SurfOS service invocation.
+
+    Attributes:
+        function: a key of :data:`SERVICE_SIGNATURES`.
+        arguments: keyword arguments, type-checked on construction.
+    """
+
+    function: str
+    arguments: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.function not in SERVICE_SIGNATURES:
+            known = ", ".join(sorted(SERVICE_SIGNATURES))
+            raise TranslationError(
+                f"unknown service function {self.function!r}; known: {known}"
+            )
+        required, optional = SERVICE_SIGNATURES[self.function]
+        allowed = {**required, **optional}
+        for key, value in self.arguments.items():
+            if key not in allowed:
+                raise TranslationError(
+                    f"{self.function}: unexpected argument {key!r}"
+                )
+            expected = allowed[key]
+            if expected is float and isinstance(value, int):
+                continue  # ints are acceptable where floats are expected
+            if expected is tuple and isinstance(value, (tuple, list)):
+                continue
+            if not isinstance(value, expected):
+                raise TranslationError(
+                    f"{self.function}: argument {key!r} should be "
+                    f"{expected.__name__}, got {type(value).__name__}"
+                )
+        missing = set(required) - set(self.arguments)
+        if missing:
+            raise TranslationError(
+                f"{self.function}: missing required arguments {sorted(missing)}"
+            )
+
+    def render(self) -> str:
+        """The call as Python source (the paper's Fig. 6 presentation).
+
+        Required arguments render positionally, options as keywords:
+        ``enhance_link('VR_headset', snr=30.0, latency=10.0)``.
+        """
+        required, _ = SERVICE_SIGNATURES[self.function]
+        positional = [
+            repr(self.arguments[k]) for k in required if k in self.arguments
+        ]
+        keyword = [
+            f"{k}={v!r}"
+            for k, v in self.arguments.items()
+            if k not in required
+        ]
+        return f"{self.function}({', '.join(positional + keyword)})"

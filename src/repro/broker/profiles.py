@@ -1,0 +1,61 @@
+"""Application demand profiles (§2.1's motivating examples).
+
+"VR/AR gaming needs high throughput and low latency, smart home
+applications need sensing capability, while sensitive data transmission
+necessitates added security protection."  These archetypes let the
+broker construct demands for named applications.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.errors import TranslationError
+from .demands import ApplicationDemand
+
+
+def _profile(**kwargs) -> Dict:
+    return kwargs
+
+
+#: Archetype parameters by application name.
+PROFILES: Dict[str, Dict] = {
+    "vr_gaming": _profile(
+        throughput_mbps=400.0,
+        latency_ms=10.0,
+        needs_sensing=True,
+        priority=8,
+    ),
+    "video_streaming": _profile(
+        throughput_mbps=50.0, latency_ms=200.0, priority=5
+    ),
+    "online_meeting": _profile(
+        throughput_mbps=10.0, latency_ms=80.0, priority=6
+    ),
+    "file_transfer": _profile(throughput_mbps=200.0, priority=3),
+    "smart_home": _profile(
+        throughput_mbps=1.0, needs_sensing=True, priority=4
+    ),
+    "secure_banking": _profile(
+        throughput_mbps=5.0, needs_security=True, priority=9
+    ),
+    "wireless_charging": _profile(charging_w=0.005, priority=2),
+    "iot_telemetry": _profile(throughput_mbps=0.5, priority=2),
+}
+
+
+def demand_for(
+    app_name: str, client_id: str, room_id: str, **overrides
+) -> ApplicationDemand:
+    """Build a demand from a named profile, with per-field overrides."""
+    try:
+        params = dict(PROFILES[app_name])
+    except KeyError:
+        known = ", ".join(sorted(PROFILES))
+        raise TranslationError(
+            f"unknown application profile {app_name!r}; known: {known}"
+        ) from None
+    params.update(overrides)
+    return ApplicationDemand(
+        app_name=app_name, client_id=client_id, room_id=room_id, **params
+    )

@@ -1,0 +1,93 @@
+"""Demand translation: application targets → service-level targets.
+
+The non-trivial mapping the paper calls out ("translating guaranteed VR
+experience to SNR improvement involves multiple non-linear mappings
+across network stack layers"): throughput goes through the Shannon
+inverse over the link bandwidth plus margins, latency tightens the
+margin and raises priority, and the boolean needs become sensing /
+security / powering calls.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.errors import TranslationError
+from ..em.noise import LinkBudget, shannon_required_snr_db
+from .calls import ServiceCall
+from .demands import ApplicationDemand
+
+#: Base link margin over the Shannon bound (implementation losses).
+BASE_MARGIN_DB = 3.0
+
+#: Extra margin for hard-interactive apps: no retransmission headroom.
+LATENCY_MARGIN_DB = 3.0
+
+#: Utilization derate: real MCS tables reach ~75% of Shannon.
+SHANNON_EFFICIENCY = 0.75
+
+
+def required_snr_db(demand: ApplicationDemand, budget: LinkBudget) -> float:
+    """Target link SNR for a demand's throughput over a budget."""
+    if demand.throughput_mbps <= 0:
+        raise TranslationError("demand has no throughput requirement")
+    effective_rate = demand.throughput_mbps * 1e6 / SHANNON_EFFICIENCY
+    snr = shannon_required_snr_db(effective_rate, budget.bandwidth_hz)
+    snr += BASE_MARGIN_DB
+    if demand.latency_sensitive:
+        snr += LATENCY_MARGIN_DB
+    return snr
+
+
+def translate_demand(
+    demand: ApplicationDemand, budget: LinkBudget
+) -> List[ServiceCall]:
+    """An application demand as a list of validated service calls."""
+    calls: List[ServiceCall] = []
+    if demand.throughput_mbps > 0:
+        arguments = {
+            "client_id": demand.client_id,
+            "snr": round(required_snr_db(demand, budget), 1),
+            "priority": demand.priority,
+        }
+        if demand.latency_ms is not None:
+            arguments["latency"] = float(demand.latency_ms)
+        calls.append(ServiceCall("enhance_link", arguments))
+    if demand.needs_sensing:
+        calls.append(
+            ServiceCall(
+                "enable_sensing",
+                {
+                    "room_id": demand.room_id,
+                    "type": "tracking",
+                    "duration": 3600.0,
+                    "priority": demand.priority,
+                },
+            )
+        )
+    if demand.needs_security:
+        calls.append(
+            ServiceCall(
+                "protect_link",
+                {
+                    "client_id": demand.client_id,
+                    "priority": max(demand.priority, 7),
+                },
+            )
+        )
+    if demand.charging_w > 0:
+        calls.append(
+            ServiceCall(
+                "init_powering",
+                {
+                    "client_id": demand.client_id,
+                    "duration": 3600.0,
+                    "priority": demand.priority,
+                },
+            )
+        )
+    if not calls:
+        raise TranslationError(
+            f"{demand.app_name}: demand translated to no service calls"
+        )
+    return calls

@@ -1,0 +1,47 @@
+"""Channel simulation substrate: ray model, cascades, simulator."""
+
+from .links import (
+    elements_to_elements,
+    elements_to_points,
+    node_to_elements,
+    node_to_points,
+)
+from .model import ChannelModel, LinearChannelForm
+from .nodes import RadioNode, single_antenna_node, ula_node
+from .simulator import ChannelSimulator, live_configs
+from .wideband import (
+    WidebandResponse,
+    band_report,
+    subcarrier_frequencies,
+    sweep_point,
+)
+from .tracer import (
+    PanelObstacle,
+    ReflectionPath,
+    reflection_paths,
+    segment_amplitude,
+    segment_loss_db,
+)
+
+__all__ = [
+    "ChannelModel",
+    "ChannelSimulator",
+    "LinearChannelForm",
+    "PanelObstacle",
+    "RadioNode",
+    "ReflectionPath",
+    "WidebandResponse",
+    "band_report",
+    "elements_to_elements",
+    "elements_to_points",
+    "live_configs",
+    "node_to_elements",
+    "node_to_points",
+    "reflection_paths",
+    "segment_amplitude",
+    "segment_loss_db",
+    "single_antenna_node",
+    "subcarrier_frequencies",
+    "sweep_point",
+    "ula_node",
+]

@@ -1,0 +1,87 @@
+"""Radio endpoints as the channel simulator sees them.
+
+A :class:`RadioNode` is just an antenna array: positions, a shared
+radiation pattern, and a boresight.  Higher layers (the hardware
+manager's access points, clients, sensors) build these; the simulator
+consumes them without knowing what they are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..em.antenna import ISOTROPIC, PATCH, AntennaPattern
+from ..em.steering import ula_positions
+from ..geometry.vec import as_vec3, normalize
+
+
+@dataclass(frozen=True)
+class RadioNode:
+    """An antenna array endpoint.
+
+    Attributes:
+        node_id: stable identifier.
+        positions: ``(M, 3)`` antenna positions.
+        pattern: per-antenna radiation pattern.
+        boresight: unit vector the antennas face.
+    """
+
+    node_id: str
+    positions: np.ndarray
+    pattern: AntennaPattern = ISOTROPIC
+    boresight: np.ndarray = field(
+        default_factory=lambda: np.array([1.0, 0.0, 0.0])
+    )
+
+    def __post_init__(self) -> None:
+        pos = np.atleast_2d(np.asarray(self.positions, dtype=float))
+        if pos.shape[1] != 3:
+            raise ValueError(f"positions must be (M, 3), got {pos.shape}")
+        object.__setattr__(self, "positions", pos)
+        object.__setattr__(self, "boresight", normalize(self.boresight))
+
+    @property
+    def num_antennas(self) -> int:
+        """Antenna count M."""
+        return self.positions.shape[0]
+
+    @property
+    def centroid(self) -> np.ndarray:
+        """Array centroid."""
+        return self.positions.mean(axis=0)
+
+
+def single_antenna_node(
+    node_id: str,
+    position: Sequence[float],
+    pattern: AntennaPattern = ISOTROPIC,
+    boresight: Sequence[float] = (1.0, 0.0, 0.0),
+) -> RadioNode:
+    """A one-antenna endpoint (typical client device)."""
+    return RadioNode(
+        node_id=node_id,
+        positions=as_vec3(position)[None, :],
+        pattern=pattern,
+        boresight=as_vec3(boresight),
+    )
+
+
+def ula_node(
+    node_id: str,
+    center: Sequence[float],
+    num_antennas: int,
+    frequency_hz: float,
+    axis: Sequence[float],
+    boresight: Sequence[float],
+    pattern: AntennaPattern = PATCH,
+) -> RadioNode:
+    """A uniform-linear-array endpoint (typical AP)."""
+    return RadioNode(
+        node_id=node_id,
+        positions=ula_positions(num_antennas, frequency_hz, center, axis),
+        pattern=pattern,
+        boresight=as_vec3(boresight),
+    )

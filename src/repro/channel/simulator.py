@@ -1,0 +1,226 @@
+"""The wireless channel simulator SurfOS orchestrates with.
+
+This is the repository's substitute for the AutoMS ray tracer the paper
+uses: given surface specifications and the 3-D environment model, it
+outputs the channel matrices between the surfaces and endpoints on the
+relevant frequency bands (§3.2 "Modeling interactions").
+
+Channel builds are cached against the environment's mutation counter,
+so the runtime daemon pays for re-tracing only when geometry actually
+changed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.errors import SimulationError
+from ..geometry.environment import Environment
+from ..surfaces.panel import SurfacePanel
+from ..surfaces.specs import OperationMode
+from .links import (
+    elements_to_elements,
+    elements_to_points,
+    node_to_elements,
+    node_to_points,
+)
+from .model import ChannelModel
+from .nodes import RadioNode
+from .tracer import PanelObstacle
+
+
+def _points_digest(points: np.ndarray) -> str:
+    data = np.ascontiguousarray(np.asarray(points, dtype=float))
+    return hashlib.sha1(data.tobytes()).hexdigest()
+
+
+def _panel_digest(panel: SurfacePanel) -> str:
+    parts = (
+        panel.panel_id,
+        panel.spec.design,
+        str(panel.shape),
+        np.array2string(panel.center, precision=6),
+        np.array2string(panel.normal, precision=6),
+    )
+    return "|".join(parts)
+
+
+class ChannelSimulator:
+    """Builds :class:`ChannelModel` objects for a radio environment.
+
+    Args:
+        env: the environment (walls, obstacles, rooms).
+        frequency_hz: carrier for all traced paths.
+        include_reflections: trace first-order wall bounces on direct
+            node→point legs.
+        include_panel_blockage: treat surface panels as thin obstacles
+            for paths not terminating on them (the §2.1 unintended
+            blocking hazard).
+        max_cascade_distance_m: skip surface-pair interactions farther
+            apart than this (their second-order term is negligible).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        frequency_hz: float,
+        include_reflections: bool = True,
+        include_panel_blockage: bool = True,
+        max_cascade_distance_m: float = 30.0,
+    ):
+        if frequency_hz <= 0:
+            raise SimulationError("carrier frequency must be positive")
+        self.env = env
+        self.frequency_hz = frequency_hz
+        self.include_reflections = include_reflections
+        self.include_panel_blockage = include_panel_blockage
+        self.max_cascade_distance_m = max_cascade_distance_m
+        self._cache: Dict[str, ChannelModel] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def cache_stats(self) -> Tuple[int, int]:
+        """(hits, misses) of the channel-build cache."""
+        return (self._cache_hits, self._cache_misses)
+
+    def _cache_key(
+        self,
+        ap: RadioNode,
+        points: np.ndarray,
+        panels: Sequence[SurfacePanel],
+    ) -> str:
+        parts = [
+            str(self.env.version),
+            ap.node_id,
+            _points_digest(ap.positions),
+            _points_digest(points),
+        ]
+        parts.extend(sorted(_panel_digest(p) for p in panels))
+        return hashlib.sha1("||".join(parts).encode()).hexdigest()
+
+    def _obstacles_excluding(
+        self,
+        panels: Sequence[SurfacePanel],
+        exclude: Iterable[SurfacePanel],
+    ) -> List[PanelObstacle]:
+        if not self.include_panel_blockage:
+            return []
+        excluded = {p.panel_id for p in exclude}
+        return [
+            PanelObstacle(p) for p in panels if p.panel_id not in excluded
+        ]
+
+    # ------------------------------------------------------------------
+
+    def build(
+        self,
+        ap: RadioNode,
+        points: np.ndarray,
+        panels: Sequence[SurfacePanel],
+    ) -> ChannelModel:
+        """Trace all legs and assemble the cascade channel model.
+
+        ``points`` is ``(K, 3)``.  Results are cached until the
+        environment or any panel geometry changes.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        ids = [p.panel_id for p in panels]
+        if len(set(ids)) != len(ids):
+            raise SimulationError(f"duplicate panel ids: {ids}")
+        key = self._cache_key(ap, points, panels)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache_hits += 1
+            return cached
+        self._cache_misses += 1
+
+        freq = self.frequency_hz
+        direct = node_to_points(
+            self.env,
+            ap,
+            points,
+            freq,
+            panel_obstacles=self._obstacles_excluding(panels, ()),
+            include_reflections=self.include_reflections,
+        )
+        ap_to_surface: Dict[str, np.ndarray] = {}
+        surface_to_points: Dict[str, np.ndarray] = {}
+        for panel in panels:
+            others = self._obstacles_excluding(panels, (panel,))
+            ap_to_surface[panel.panel_id] = node_to_elements(
+                self.env, ap, panel, freq, panel_obstacles=others
+            )
+            surface_to_points[panel.panel_id] = elements_to_points(
+                self.env, panel, points, freq, panel_obstacles=others
+            )
+        surface_to_surface: Dict[Tuple[str, str], np.ndarray] = {}
+        for source in panels:
+            for target in panels:
+                if source.panel_id == target.panel_id:
+                    continue
+                gap = float(np.linalg.norm(source.center - target.center))
+                if gap > self.max_cascade_distance_m:
+                    continue
+                if not self._panels_face_each_other(source, target):
+                    continue
+                others = self._obstacles_excluding(panels, (source, target))
+                surface_to_surface[(source.panel_id, target.panel_id)] = (
+                    elements_to_elements(
+                        self.env, source, target, freq, panel_obstacles=others
+                    )
+                )
+        model = ChannelModel(
+            points=points,
+            direct=direct,
+            ap_to_surface=ap_to_surface,
+            surface_to_points=surface_to_points,
+            surface_to_surface=surface_to_surface,
+            frequency_hz=freq,
+        )
+        self._cache[key] = model
+        return model
+
+    @staticmethod
+    def _panels_face_each_other(a: SurfacePanel, b: SurfacePanel) -> bool:
+        """Geometric cull: reflective panels must be in front of each other."""
+        def front(panel: SurfacePanel, point: np.ndarray) -> bool:
+            if panel.spec.operation_mode is not OperationMode.REFLECTIVE:
+                return True
+            return float(np.dot(point - panel.center, panel.normal)) > 0.0
+
+        return front(a, b.center) and front(b, a.center)
+
+    # ------------------------------------------------------------------
+
+    def point_channel(
+        self,
+        ap: RadioNode,
+        point: Sequence[float],
+        panels: Sequence[SurfacePanel],
+        configs: Optional[Mapping[str, np.ndarray]] = None,
+    ) -> np.ndarray:
+        """Channel ``(M,)`` to a single point with the panels' live configs."""
+        model = self.build(ap, np.asarray(point, dtype=float)[None, :], panels)
+        if configs is None:
+            configs = {
+                p.panel_id: p.configuration.coefficients().reshape(-1)
+                for p in panels
+            }
+        return model.evaluate(configs)[0]
+
+    def invalidate(self) -> None:
+        """Drop all cached channel builds."""
+        self._cache.clear()
+
+
+def live_configs(panels: Sequence[SurfacePanel]) -> Dict[str, np.ndarray]:
+    """The panels' currently actuated configurations as coefficient vectors."""
+    return {
+        p.panel_id: p.configuration.coefficients().reshape(-1) for p in panels
+    }

@@ -1,0 +1,196 @@
+"""Command-line interface for the SurfOS reproduction.
+
+Usage::
+
+    python -m repro.cli table1
+    python -m repro.cli fig2
+    python -m repro.cli fig4 --quick
+    python -m repro.cli fig5
+    python -m repro.cli fig6
+    python -m repro.cli translate "I want to start VR gaming in this room."
+    python -m repro.cli recommend "passive surface for 60 GHz"
+    python -m repro.cli plan --room bedroom --target-snr 20
+    python -m repro.cli info
+
+Every experiment prints the same rendering its benchmark asserts on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from . import __version__
+    from .surfaces import list_designs
+
+    print(f"SurfOS reproduction v{__version__}")
+    print("Paper: SurfOS: Towards an Operating System for Programmable")
+    print("       Radio Environments (HotNets '24)")
+    print(f"Known surface designs: {', '.join(list_designs())}")
+    print("Experiments: table1, fig2, fig4, fig5, fig6 (see DESIGN.md)")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from .experiments import table1
+
+    print(table1.run().render())
+    return 0
+
+
+def _cmd_fig2(args: argparse.Namespace) -> int:
+    from .experiments import fig2
+
+    print(fig2.run().render())
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    from .experiments import fig4
+
+    if args.quick:
+        result = fig4.run(
+            passive_sizes=(24, 48),
+            programmable_sizes=(12, 22),
+            hybrid_sizes=((64, 12),),
+        )
+    else:
+        result = fig4.run()
+    print(result.render_sweep())
+    print()
+    print(result.render_targets())
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    from .experiments import fig5
+
+    print(fig5.run().render())
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    from .experiments import fig6
+
+    result = fig6.run()
+    print(result.render())
+    return 0 if result.all_match else 1
+
+
+def _cmd_translate(args: argparse.Namespace) -> int:
+    from .llm import IntentTranslator, MockLLM
+
+    translator = IntentTranslator(MockLLM())
+    calls = translator.translate(args.text)
+    if not calls:
+        print("(no service calls — demand not understood)")
+        return 1
+    for call in calls:
+        print(call.render())
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    from .llm import recommend_designs
+
+    for spec in recommend_designs(args.text):
+        lo, hi = spec.band_hz
+        kind = "passive" if spec.is_passive else "programmable"
+        print(
+            f"{spec.design}: {lo / 1e9:g}-{hi / 1e9:g} GHz, {kind}, "
+            f"${spec.cost_per_element_usd:.4g}/element"
+        )
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from .autodesign import DeploymentGoal, DeploymentPlanner
+    from .core.units import ghz
+    from .experiments import build_scenario
+    from .orchestrator import Adam
+
+    scenario = build_scenario()
+    planner = DeploymentPlanner(
+        scenario.env,
+        scenario.ap,
+        optimizer=Adam(max_iterations=60),
+        size_ladder=(8, 12, 16, 24, 32),
+        max_sites=4,
+    )
+    goal = DeploymentGoal(
+        room_id=args.room,
+        target_median_snr_db=args.target_snr,
+        frequency_hz=ghz(args.ghz),
+        require_reconfigurable=None if args.any_hardware else True,
+    )
+    plans = planner.plan(goal)
+    for i, plan in enumerate(plans, 1):
+        print(f"{i}. {plan.describe()}")
+    return 0 if plans[0].meets_target else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SurfOS reproduction: experiments and tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package and catalog summary").set_defaults(
+        fn=_cmd_info
+    )
+    sub.add_parser("table1", help="regenerate Table 1").set_defaults(
+        fn=_cmd_table1
+    )
+    sub.add_parser(
+        "fig2", help="coverage-vs-localization heatmaps"
+    ).set_defaults(fn=_cmd_fig2)
+    fig4 = sub.add_parser("fig4", help="cost/size trade-off sweep")
+    fig4.add_argument(
+        "--quick", action="store_true", help="reduced sweep (~30 s)"
+    )
+    fig4.set_defaults(fn=_cmd_fig4)
+    sub.add_parser("fig5", help="multitasking CDFs").set_defaults(fn=_cmd_fig5)
+    sub.add_parser("fig6", help="LLM demand translation").set_defaults(
+        fn=_cmd_fig6
+    )
+
+    translate = sub.add_parser(
+        "translate", help="translate a demand into service calls"
+    )
+    translate.add_argument("text", help="natural-language demand")
+    translate.set_defaults(fn=_cmd_translate)
+
+    recommend = sub.add_parser(
+        "recommend", help="recommend hardware designs for a request"
+    )
+    recommend.add_argument("text", help="natural-language hardware request")
+    recommend.set_defaults(fn=_cmd_recommend)
+
+    plan = sub.add_parser(
+        "plan", help="plan a clean-slate deployment for the apartment"
+    )
+    plan.add_argument("--room", default="bedroom")
+    plan.add_argument("--target-snr", type=float, default=20.0)
+    plan.add_argument("--ghz", type=float, default=28.0)
+    plan.add_argument(
+        "--any-hardware",
+        action="store_true",
+        help="allow passive designs too",
+    )
+    plan.set_defaults(fn=_cmd_plan)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Core types shared by every SurfOS layer."""
+
+from .configuration import (
+    Granularity,
+    SurfaceConfiguration,
+    quantize_phase,
+    tie_to_granularity,
+    wrap_phase,
+)
+from .errors import (
+    AdmissionError,
+    CapabilityError,
+    ConfigurationError,
+    DriverError,
+    HardwareError,
+    OptimizationError,
+    OrchestrationError,
+    SchedulingError,
+    ServiceError,
+    SimulationError,
+    SurfOSError,
+    TranslationError,
+    UnknownDeviceError,
+)
+from . import units
+
+__all__ = [
+    "AdmissionError",
+    "CapabilityError",
+    "ConfigurationError",
+    "DriverError",
+    "Granularity",
+    "HardwareError",
+    "OptimizationError",
+    "OrchestrationError",
+    "SchedulingError",
+    "ServiceError",
+    "SimulationError",
+    "SurfOSError",
+    "SurfaceConfiguration",
+    "TranslationError",
+    "UnknownDeviceError",
+    "quantize_phase",
+    "tie_to_granularity",
+    "units",
+    "wrap_phase",
+]

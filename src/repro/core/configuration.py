@@ -1,0 +1,212 @@
+"""Surface configurations — the currency of the SurfOS data plane.
+
+A *configuration* is an array of signal-property alteration values, one
+per surface element (the paper's §3.1: "One configuration is an array of
+signal property alteration values for each surface element, e.g., phase
+shift values").  The hardware manager accepts configurations through the
+unified driver primitives; the orchestrator's optimizers treat them as
+the decision variables.
+
+Configurations are stored at *element* granularity (rows × cols) even
+for hardware with coarser control.  Coarse hardware (column-wise,
+row-wise, global) is handled by :func:`tie_to_granularity`, which
+projects an element-wise array onto the feasible set of the hardware —
+mirroring how the paper treats column-wise mmWave surfaces as a
+constrained special case of element-wise control.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .errors import ConfigurationError
+
+TWO_PI = 2.0 * np.pi
+
+
+class Granularity(enum.Enum):
+    """Spatial control granularity of a surface's reconfiguration."""
+
+    ELEMENT = "element"
+    COLUMN = "column"
+    ROW = "row"
+    GLOBAL = "global"
+
+    def degrees_of_freedom(self, rows: int, cols: int) -> int:
+        """Number of independently controllable values for a panel."""
+        if self is Granularity.ELEMENT:
+            return rows * cols
+        if self is Granularity.COLUMN:
+            return cols
+        if self is Granularity.ROW:
+            return rows
+        return 1
+
+
+def wrap_phase(phases: np.ndarray) -> np.ndarray:
+    """Wrap phases into the canonical [0, 2π) interval.
+
+    ``np.mod(-ε, 2π)`` rounds to exactly 2π for tiny negative inputs;
+    those land back on 0 to keep the interval half-open.
+    """
+    wrapped = np.mod(phases, TWO_PI)
+    return np.where(wrapped >= TWO_PI, 0.0, wrapped)
+
+
+def quantize_phase(phases: np.ndarray, bits: int) -> np.ndarray:
+    """Snap phases to the nearest of ``2**bits`` uniform levels.
+
+    Real programmable metasurfaces use 1-bit or 2-bit phase shifters;
+    this models the resulting quantization loss.
+    """
+    if bits < 1:
+        raise ConfigurationError(f"phase quantization needs >=1 bit, got {bits}")
+    levels = 2 ** bits
+    step = TWO_PI / levels
+    return wrap_phase(np.round(np.asarray(phases) / step) * step)
+
+
+def tie_to_granularity(values: np.ndarray, granularity: Granularity) -> np.ndarray:
+    """Project an element-wise array onto a coarser control granularity.
+
+    Column-wise hardware shares one state per column, so the per-column
+    circular mean (for angles the arithmetic mean of unit phasors) is
+    broadcast down the column; likewise for rows and global control.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2:
+        raise ConfigurationError(f"expected 2-D array, got shape {values.shape}")
+    if granularity is Granularity.ELEMENT:
+        return values.copy()
+    phasors = np.exp(1j * values)
+    if granularity is Granularity.COLUMN:
+        tied = np.angle(phasors.mean(axis=0, keepdims=True))
+        return wrap_phase(np.broadcast_to(tied, values.shape).copy())
+    if granularity is Granularity.ROW:
+        tied = np.angle(phasors.mean(axis=1, keepdims=True))
+        return wrap_phase(np.broadcast_to(tied, values.shape).copy())
+    tied = np.angle(phasors.mean())
+    return wrap_phase(np.full_like(values, tied))
+
+
+@dataclass
+class SurfaceConfiguration:
+    """Per-element signal alteration values for one surface panel.
+
+    Attributes:
+        phases: phase shifts in radians, shape ``(rows, cols)``.
+        amplitudes: reflection/transmission amplitude per element in
+            [0, 1], same shape as ``phases``.
+        name: optional label, e.g. the codebook entry name.
+        frequency_hz: carrier the configuration was optimized for, if
+            any; purely informational.
+    """
+
+    phases: np.ndarray
+    amplitudes: Optional[np.ndarray] = None
+    name: str = ""
+    frequency_hz: Optional[float] = None
+    _shape: Tuple[int, int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.phases = wrap_phase(np.asarray(self.phases, dtype=float))
+        if self.phases.ndim != 2:
+            raise ConfigurationError(
+                f"phases must be 2-D (rows, cols), got shape {self.phases.shape}"
+            )
+        if self.amplitudes is None:
+            self.amplitudes = np.ones_like(self.phases)
+        else:
+            self.amplitudes = np.asarray(self.amplitudes, dtype=float)
+            if self.amplitudes.shape != self.phases.shape:
+                raise ConfigurationError(
+                    "amplitudes shape "
+                    f"{self.amplitudes.shape} != phases shape {self.phases.shape}"
+                )
+            if np.any(self.amplitudes < 0.0) or np.any(self.amplitudes > 1.0):
+                raise ConfigurationError("amplitudes must lie in [0, 1]")
+        self._shape = self.phases.shape
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Panel shape as ``(rows, cols)``."""
+        return self._shape
+
+    @property
+    def num_elements(self) -> int:
+        """Total element count of the panel."""
+        return self._shape[0] * self._shape[1]
+
+    def coefficients(self) -> np.ndarray:
+        """Complex per-element coefficients ``A * exp(j*phase)``."""
+        return self.amplitudes * np.exp(1j * self.phases)
+
+    def flat_phases(self) -> np.ndarray:
+        """Phases flattened row-major to a 1-D vector."""
+        return self.phases.reshape(-1)
+
+    def quantized(self, bits: int) -> "SurfaceConfiguration":
+        """A copy with phases snapped to ``2**bits`` uniform levels."""
+        return SurfaceConfiguration(
+            phases=quantize_phase(self.phases, bits),
+            amplitudes=self.amplitudes.copy(),
+            name=self.name,
+            frequency_hz=self.frequency_hz,
+        )
+
+    def tied(self, granularity: Granularity) -> "SurfaceConfiguration":
+        """A copy projected onto a coarser control granularity."""
+        return SurfaceConfiguration(
+            phases=tie_to_granularity(self.phases, granularity),
+            amplitudes=self.amplitudes.copy(),
+            name=self.name,
+            frequency_hz=self.frequency_hz,
+        )
+
+    def with_phases(self, phases: np.ndarray) -> "SurfaceConfiguration":
+        """A copy with new phases and the same amplitudes/metadata."""
+        return SurfaceConfiguration(
+            phases=np.asarray(phases, dtype=float).reshape(self._shape),
+            amplitudes=self.amplitudes.copy(),
+            name=self.name,
+            frequency_hz=self.frequency_hz,
+        )
+
+    def copy(self) -> "SurfaceConfiguration":
+        """A deep copy."""
+        return SurfaceConfiguration(
+            phases=self.phases.copy(),
+            amplitudes=self.amplitudes.copy(),
+            name=self.name,
+            frequency_hz=self.frequency_hz,
+        )
+
+    @classmethod
+    def zeros(cls, rows: int, cols: int, name: str = "") -> "SurfaceConfiguration":
+        """All-zero phase, unit amplitude (a 'specular mirror')."""
+        return cls(phases=np.zeros((rows, cols)), name=name)
+
+    @classmethod
+    def random(
+        cls,
+        rows: int,
+        cols: int,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "",
+    ) -> "SurfaceConfiguration":
+        """Uniformly random phases — the optimizers' initial point."""
+        rng = rng or np.random.default_rng()
+        return cls(phases=rng.uniform(0.0, TWO_PI, size=(rows, cols)), name=name)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SurfaceConfiguration):
+            return NotImplemented
+        return (
+            self._shape == other._shape
+            and np.allclose(self.phases, other.phases)
+            and np.allclose(self.amplitudes, other.amplitudes)
+        )

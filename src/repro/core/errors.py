@@ -1,0 +1,70 @@
+"""Exception hierarchy for SurfOS.
+
+All SurfOS errors derive from :class:`SurfOSError` so that callers can
+catch the whole family with one clause while still discriminating the
+layer that raised: hardware, orchestration, service, broker, or LLM
+automation.
+"""
+
+from __future__ import annotations
+
+
+class SurfOSError(Exception):
+    """Base class for every error raised by the SurfOS stack."""
+
+
+class ConfigurationError(SurfOSError):
+    """A surface configuration is malformed or incompatible.
+
+    Raised when a configuration's shape, granularity, or value range
+    does not match the surface it is being applied to.
+    """
+
+
+class HardwareError(SurfOSError):
+    """Base class for hardware-manager and driver errors."""
+
+
+class CapabilityError(HardwareError):
+    """The hardware cannot perform the requested operation.
+
+    Examples: shifting phases on an amplitude-only surface, or
+    reconfiguring a passive (one-time programmable) surface after
+    fabrication.
+    """
+
+
+class DriverError(HardwareError):
+    """A driver failed to apply an operation to its surface."""
+
+
+class UnknownDeviceError(HardwareError):
+    """A device id was not found in the hardware registry."""
+
+
+class OrchestrationError(SurfOSError):
+    """Base class for surface-orchestrator errors."""
+
+
+class AdmissionError(OrchestrationError):
+    """A task could not be admitted (no feasible resource slice)."""
+
+
+class SchedulingError(OrchestrationError):
+    """The scheduler reached an inconsistent state."""
+
+
+class OptimizationError(OrchestrationError):
+    """An optimizer failed to produce a configuration."""
+
+
+class ServiceError(SurfOSError):
+    """A service request was invalid or could not be fulfilled."""
+
+
+class TranslationError(SurfOSError):
+    """The broker or LLM layer could not translate a demand."""
+
+
+class SimulationError(SurfOSError):
+    """The channel simulator was asked for something unphysical."""

@@ -1,0 +1,138 @@
+"""The SurfOS kernel façade: one object wiring every layer together.
+
+Construction order mirrors Figure 3: hardware manager at the bottom,
+surface orchestrator above it, service broker and LLM intent translation
+in user space, and the runtime daemon watching the environment.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..broker.broker import ServiceBroker
+from ..broker.calls import ServiceCall
+from ..geometry.environment import Environment
+from ..hwmgr.devices import AccessPoint, ClientDevice, Sensor
+from ..hwmgr.manager import HardwareManager
+from ..llm.client import LLMClient
+from ..llm.intent import IntentTranslator, dispatch_calls
+from ..llm.mock import MockLLM
+from ..orchestrator.optimizers import Optimizer
+from ..orchestrator.orchestrator import SurfaceOrchestrator
+from ..runtime.daemon import SurfOSDaemon
+from ..runtime.dynamics import EnvironmentDynamics
+from ..surfaces.panel import SurfacePanel
+from .errors import SurfOSError
+
+
+class SurfOS:
+    """The metasurface operating system for one radio environment.
+
+    Typical setup::
+
+        os = SurfOS(env, frequency_hz=ghz(28))
+        os.add_access_point(AccessPoint("ap", pos, 4, ghz(28)))
+        os.add_surface(panel)
+        os.add_client(ClientDevice("phone", pos))
+        os.boot()
+        task = os.orchestrator.optimize_coverage("bedroom")
+        os.orchestrator.reoptimize()
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        frequency_hz: float,
+        llm: Optional[LLMClient] = None,
+        optimizer: Optional[Optimizer] = None,
+        grid_spacing_m: float = 0.7,
+    ):
+        self.env = env
+        self.frequency_hz = frequency_hz
+        self.hardware = HardwareManager()
+        self.llm = llm or MockLLM()
+        self._optimizer = optimizer
+        self._grid_spacing = grid_spacing_m
+        self.orchestrator: Optional[SurfaceOrchestrator] = None
+        self.broker: Optional[ServiceBroker] = None
+        self.translator: Optional[IntentTranslator] = None
+        self.daemon: Optional[SurfOSDaemon] = None
+        self.dynamics = EnvironmentDynamics(env)
+
+    # ------------------------------------------------------------------
+    # hardware registration (pre-boot or live)
+    # ------------------------------------------------------------------
+
+    def add_surface(self, panel: SurfacePanel):
+        """Register a surface panel; returns its driver."""
+        return self.hardware.register_surface(panel)
+
+    def add_access_point(self, ap: AccessPoint) -> AccessPoint:
+        """Register an access point."""
+        return self.hardware.register_access_point(ap)
+
+    def add_client(self, client: ClientDevice) -> ClientDevice:
+        """Register a client device."""
+        return self.hardware.register_client(client)
+
+    def add_sensor(self, sensor: Sensor) -> Sensor:
+        """Register an external sensor."""
+        return self.hardware.register_sensor(sensor)
+
+    # ------------------------------------------------------------------
+
+    def boot(self, observe_room: Optional[str] = None) -> "SurfOS":
+        """Instantiate the orchestrator, broker, translator, daemon."""
+        if self.orchestrator is not None:
+            raise SurfOSError("SurfOS already booted")
+        self.orchestrator = SurfaceOrchestrator(
+            self.env,
+            self.hardware,
+            self.frequency_hz,
+            optimizer=self._optimizer,
+            grid_spacing_m=self._grid_spacing,
+        )
+        self.broker = ServiceBroker(self.orchestrator)
+        self.translator = IntentTranslator(self.llm)
+        self.daemon = SurfOSDaemon(
+            self.orchestrator,
+            dynamics=self.dynamics,
+            observe_room=observe_room,
+        )
+        return self
+
+    def _require_boot(self) -> None:
+        if self.orchestrator is None:
+            raise SurfOSError("call boot() before using services")
+
+    # ------------------------------------------------------------------
+    # user space conveniences
+    # ------------------------------------------------------------------
+
+    def handle_user_demand(self, text: str) -> List[object]:
+        """Natural language → service tasks (the Fig. 6 path)."""
+        self._require_boot()
+        calls = self.translator.translate(text)
+        return dispatch_calls(calls, self.orchestrator)
+
+    def translate_only(self, text: str) -> List[ServiceCall]:
+        """Natural language → validated calls, without executing them."""
+        self._require_boot()
+        return self.translator.translate(text)
+
+    def serve_application(self, app_name: str, client_id: str, room_id: str, **kw):
+        """Register an application demand through the broker."""
+        self._require_boot()
+        return self.broker.register_profile(app_name, client_id, room_id, **kw)
+
+    def reoptimize(self, **kwargs):
+        """Re-run the joint optimization for every active task."""
+        self._require_boot()
+        return self.orchestrator.reoptimize(**kwargs)
+
+    def summary(self) -> str:
+        """One-line system state."""
+        booted = "booted" if self.orchestrator is not None else "not booted"
+        return f"SurfOS({self.env.name!r}, {booted}, {self.hardware.summary()})"

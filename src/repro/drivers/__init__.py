@@ -1,0 +1,19 @@
+"""Surface drivers: the hardware manager's unified write primitives."""
+
+from .amplitude import AmplitudeDriver
+from .base import FeedbackReport, PassiveDriver, SurfaceDriver
+from .frequency import FrequencySelectiveDriver, OFF_RESONANCE_AMPLITUDE
+from .phase import PassivePhaseDriver, ProgrammablePhaseDriver
+from .polarization import PolarizationDriver
+
+__all__ = [
+    "AmplitudeDriver",
+    "FeedbackReport",
+    "FrequencySelectiveDriver",
+    "OFF_RESONANCE_AMPLITUDE",
+    "PassiveDriver",
+    "PassivePhaseDriver",
+    "PolarizationDriver",
+    "ProgrammablePhaseDriver",
+    "SurfaceDriver",
+]

@@ -1,0 +1,73 @@
+"""Amplitude-control drivers (RFocus / LAVA style).
+
+These surfaces switch each element between passing and blocking states
+rather than shifting phase: a configuration is a binary on/off mask.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.configuration import SurfaceConfiguration
+from ..core.errors import ConfigurationError
+from ..surfaces.specs import SignalProperty
+from .base import SurfaceDriver
+
+
+class AmplitudeDriver(SurfaceDriver):
+    """Driver for on/off amplitude surfaces."""
+
+    controlled_property = SignalProperty.AMPLITUDE
+
+    def validate(self, config: SurfaceConfiguration) -> None:
+        super().validate(config)
+        amps = config.amplitudes
+        binary = np.isclose(amps, 0.0) | np.isclose(amps, 1.0)
+        if not np.all(binary):
+            raise ConfigurationError(
+                f"{self.surface_id}: amplitude surfaces take binary "
+                "on/off element states"
+            )
+        if not np.allclose(config.phases, 0.0):
+            raise ConfigurationError(
+                f"{self.surface_id}: amplitude-only hardware cannot "
+                "shift phases"
+            )
+
+    def set_amplitudes(
+        self,
+        mask: np.ndarray,
+        now: float = 0.0,
+        name: str = "mask",
+    ) -> float:
+        """The paper's ``set_amplitude()`` primitive: queue an on/off mask."""
+        mask = np.asarray(mask, dtype=float)
+        config = SurfaceConfiguration(
+            phases=np.zeros(self.panel.shape),
+            amplitudes=mask.reshape(self.panel.shape),
+            name=name,
+        )
+        return self.push_configuration(name, config, now=now, activate=True)
+
+    def greedy_mask(
+        self,
+        element_scores: np.ndarray,
+        keep_fraction: float = 0.5,
+    ) -> np.ndarray:
+        """On/off mask keeping the highest-scoring elements.
+
+        RFocus-style majority-vote optimization reduces, per iteration,
+        to keeping elements whose contribution is constructive; callers
+        supply per-element scores (e.g. ``cos`` of the phase mismatch).
+        """
+        if not 0.0 < keep_fraction <= 1.0:
+            raise ConfigurationError("keep_fraction must lie in (0, 1]")
+        scores = np.asarray(element_scores, dtype=float).reshape(-1)
+        if scores.size != self.panel.num_elements:
+            raise ConfigurationError(
+                f"{self.surface_id}: got {scores.size} scores for "
+                f"{self.panel.num_elements} elements"
+            )
+        keep = max(1, int(round(keep_fraction * scores.size)))
+        threshold = np.partition(scores, -keep)[-keep]
+        return (scores >= threshold).astype(float).reshape(self.panel.shape)

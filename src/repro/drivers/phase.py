@@ -1,0 +1,104 @@
+"""Phase-control drivers — the workhorse of the exploratory studies.
+
+The paper's early-stage implementation (§4) is exactly this pair: "a
+passive surface takes a single set of per-element phase shift values,
+while each programmable surface takes multiple sets of element-wise
+states.  The best set for a programmable surface is chosen based on
+endpoint feedback."
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.configuration import SurfaceConfiguration
+from ..em.steering import beam_codebook_targets, focus_configuration
+from ..surfaces.panel import SurfacePanel
+from ..surfaces.specs import SignalProperty
+from .base import PassiveDriver, SurfaceDriver
+
+
+class ProgrammablePhaseDriver(SurfaceDriver):
+    """Driver for reconfigurable phase-shifting surfaces."""
+
+    controlled_property = SignalProperty.PHASE
+
+    def set_phase_shifts(
+        self,
+        config: SurfaceConfiguration,
+        now: float = 0.0,
+        name: str = "live",
+    ) -> float:
+        """The paper's ``shift_phase()`` primitive: queue a phase write."""
+        return self.push_configuration(name, config, now=now, activate=True)
+
+    def load_beam_codebook(
+        self,
+        source: Sequence[float],
+        targets: Iterable[np.ndarray],
+        frequency_hz: float,
+        now: float = 0.0,
+        prefix: str = "beam",
+    ) -> List[str]:
+        """Pre-load focus configurations for a set of target points.
+
+        Returns the stored entry names; the first entry is activated.
+        This is the 802.11ad-codebook-style deployment the paper
+        describes for data-plane beam switching.
+        """
+        names: List[str] = []
+        for i, target in enumerate(targets):
+            name = f"{prefix}{i}"
+            cfg = focus_configuration(
+                self.panel.element_positions(),
+                self.panel.shape,
+                source,
+                target,
+                frequency_hz,
+                name=name,
+            )
+            self.push_configuration(name, cfg, now=now, activate=(i == 0))
+            names.append(name)
+        return names
+
+    def load_region_codebook(
+        self,
+        source: Sequence[float],
+        region_center: Sequence[float],
+        region_span: Sequence[float],
+        frequency_hz: float,
+        beams_x: int = 4,
+        beams_y: int = 4,
+        z: float = 1.0,
+        now: float = 0.0,
+    ) -> List[str]:
+        """Codebook covering a rectangular region with a beam grid."""
+        targets = beam_codebook_targets(
+            region_center, region_span, beams_x, beams_y, z=z
+        )
+        return self.load_beam_codebook(source, targets, frequency_hz, now=now)
+
+
+class PassivePhaseDriver(PassiveDriver):
+    """Driver for passive phase surfaces (fixed at fabrication)."""
+
+    controlled_property = SignalProperty.PHASE
+
+    def fabricate_focus(
+        self,
+        source: Sequence[float],
+        target: Sequence[float],
+        frequency_hz: float,
+    ) -> SurfaceConfiguration:
+        """Fabricate the one-time configuration as a focus profile."""
+        cfg = focus_configuration(
+            self.panel.element_positions(),
+            self.panel.shape,
+            source,
+            target,
+            frequency_hz,
+            name="fabricated",
+        )
+        return self.fabricate(cfg)

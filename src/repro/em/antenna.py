@@ -1,0 +1,91 @@
+"""Antenna and meta-atom radiation patterns.
+
+Every radiating endpoint in the simulator — AP antennas, client
+antennas, and individual surface elements — is described by an
+:class:`AntennaPattern`: a peak gain plus a normalized directivity
+envelope over the angle from boresight.  Surface elements use the
+standard ``cos^q`` meta-atom model; the exponent and peak gain are part
+of each surface's hardware spec.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry.vec import as_vec3, normalize
+
+
+def db_gain_to_linear(gain_dbi: float) -> float:
+    """Convert an antenna gain in dBi to a linear power gain."""
+    return 10.0 ** (gain_dbi / 10.0)
+
+
+@dataclass(frozen=True)
+class AntennaPattern:
+    """A rotationally symmetric radiation pattern around boresight.
+
+    Attributes:
+        peak_gain_dbi: gain on boresight in dBi.
+        cos_exponent: exponent ``q`` of the ``cos^q(θ)`` envelope;
+            ``0`` means isotropic over the front hemisphere.
+        front_only: if True, the back hemisphere (θ > 90°) radiates
+            nothing — the right model for patch antennas and for
+            reflective surface elements.
+    """
+
+    peak_gain_dbi: float = 0.0
+    cos_exponent: float = 0.0
+    front_only: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cos_exponent < 0:
+            raise ValueError("cos exponent must be non-negative")
+
+    @property
+    def peak_gain_linear(self) -> float:
+        """Boresight power gain (linear)."""
+        return db_gain_to_linear(self.peak_gain_dbi)
+
+    def gain_linear(self, cos_theta: float) -> float:
+        """Power gain at an angle whose cosine from boresight is given."""
+        if self.front_only and cos_theta <= 0.0:
+            return 0.0
+        c = min(abs(cos_theta), 1.0)
+        if self.cos_exponent == 0.0:
+            return self.peak_gain_linear
+        return self.peak_gain_linear * (c ** self.cos_exponent)
+
+    def gain_toward(
+        self, position: np.ndarray, boresight: np.ndarray, target: np.ndarray
+    ) -> float:
+        """Power gain from ``position`` (facing ``boresight``) toward ``target``."""
+        direction = as_vec3(target) - as_vec3(position)
+        dist = np.linalg.norm(direction)
+        if dist == 0.0:
+            return self.peak_gain_linear
+        cos_theta = float(np.dot(direction / dist, normalize(boresight)))
+        return self.gain_linear(cos_theta)
+
+    def amplitude_toward(
+        self, position: np.ndarray, boresight: np.ndarray, target: np.ndarray
+    ) -> float:
+        """Amplitude (sqrt power) gain toward a target point."""
+        return math.sqrt(self.gain_toward(position, boresight, target))
+
+
+#: Idealized isotropic radiator (client devices).
+ISOTROPIC = AntennaPattern(peak_gain_dbi=0.0, cos_exponent=0.0, front_only=False)
+
+#: A patch-like AP antenna: ~8 dBi, cos^2 envelope, front hemisphere.
+PATCH = AntennaPattern(peak_gain_dbi=8.0, cos_exponent=2.0, front_only=True)
+
+#: Standard meta-atom element model: ~5 dBi with cos envelope.
+META_ATOM = AntennaPattern(peak_gain_dbi=5.0, cos_exponent=1.0, front_only=True)
+
+#: Wide meta-atom used by transmissive surfaces (radiates both sides).
+META_ATOM_TRANSMISSIVE = AntennaPattern(
+    peak_gain_dbi=5.0, cos_exponent=1.0, front_only=False
+)

@@ -1,0 +1,25 @@
+"""Paper-artifact reproductions: one module per table/figure.
+
+* :mod:`.table1` — the hardware-design catalog table.
+* :mod:`.fig2` — coverage-optimal configuration disrupting localization.
+* :mod:`.fig4` — passive/programmable/hybrid cost & size trade-offs.
+* :mod:`.fig5` — multitasking CDFs (joint localization + coverage).
+* :mod:`.fig6` — LLM translation of user demands into service calls.
+
+Figures 1 and 3 of the paper are architecture diagrams; their
+"reproduction" is the system itself (see DESIGN.md).
+"""
+
+from . import fig2, fig4, fig5, fig6, table1
+from .scenario import ApartmentScenario, CARRIER_HZ, build_scenario
+
+__all__ = [
+    "ApartmentScenario",
+    "CARRIER_HZ",
+    "build_scenario",
+    "fig2",
+    "fig4",
+    "fig5",
+    "fig6",
+    "table1",
+]

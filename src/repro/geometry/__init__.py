@@ -1,0 +1,68 @@
+"""Geometry substrate: vectors, shapes, materials, environments."""
+
+from .environment import Environment, describe_obstructions
+from .floorplans import (
+    ApartmentLayout,
+    ApartmentSites,
+    apartment_sites,
+    two_room_apartment,
+)
+from .materials import (
+    BRICK,
+    CONCRETE,
+    DRYWALL,
+    GLASS,
+    HUMAN,
+    MATERIALS,
+    METAL,
+    WOOD,
+    Material,
+    get_material,
+    list_materials,
+)
+from .shapes import Box, Room, Wall
+from .vec import (
+    as_vec3,
+    azimuth_of,
+    centroid,
+    cross,
+    distance,
+    dot,
+    lerp,
+    norm,
+    normalize,
+    vec3,
+)
+
+__all__ = [
+    "ApartmentLayout",
+    "ApartmentSites",
+    "BRICK",
+    "Box",
+    "CONCRETE",
+    "DRYWALL",
+    "Environment",
+    "GLASS",
+    "HUMAN",
+    "MATERIALS",
+    "METAL",
+    "Material",
+    "Room",
+    "WOOD",
+    "Wall",
+    "apartment_sites",
+    "as_vec3",
+    "azimuth_of",
+    "centroid",
+    "cross",
+    "describe_obstructions",
+    "distance",
+    "dot",
+    "get_material",
+    "lerp",
+    "list_materials",
+    "norm",
+    "normalize",
+    "two_room_apartment",
+    "vec3",
+]

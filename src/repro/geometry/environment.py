@@ -1,0 +1,210 @@
+"""The 3-D environment model consumed by the channel simulator.
+
+An :class:`Environment` is a set of walls, box obstacles, and named
+rooms.  It answers the only questions the ray model asks:
+
+* what penetration loss does a straight segment accumulate,
+* is there line of sight between two points,
+* which walls can host a first-order specular reflection.
+
+Obstacles split into *static* (furniture that is part of the floor
+plan) and *dynamic* (humans, movable furniture) so the runtime layer
+can mutate the latter; every mutation bumps :attr:`Environment.version`
+so channel caches know to invalidate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .materials import Material
+from .shapes import Box, Room, Wall
+from .vec import as_vec3
+
+
+class Environment:
+    """Walls + obstacles + rooms making up one radio environment.
+
+    Attributes:
+        name: label for diagnostics.
+        ceiling_height: default wall height used by convenience adders.
+    """
+
+    def __init__(self, name: str = "environment", ceiling_height: float = 3.0):
+        self.name = name
+        self.ceiling_height = ceiling_height
+        self._walls: List[Wall] = []
+        self._static_boxes: List[Box] = []
+        self._dynamic_boxes: Dict[str, Box] = {}
+        self._rooms: Dict[str, Room] = {}
+        self._version = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every geometry mutation."""
+        return self._version
+
+    def add_wall(self, wall: Wall) -> Wall:
+        """Add a wall and return it."""
+        self._walls.append(wall)
+        self._version += 1
+        return wall
+
+    def add_wall_2d(
+        self,
+        start: Sequence[float],
+        end: Sequence[float],
+        material: Material,
+        name: str = "",
+        z_min: float = 0.0,
+        z_max: Optional[float] = None,
+    ) -> Wall:
+        """Convenience: add a floor-to-ceiling wall from 2-D endpoints."""
+        wall = Wall(
+            start=as_vec3(start),
+            end=as_vec3(end),
+            material=material,
+            z_min=z_min,
+            z_max=self.ceiling_height if z_max is None else z_max,
+            name=name,
+        )
+        return self.add_wall(wall)
+
+    def add_box(self, box: Box) -> Box:
+        """Add a static obstacle."""
+        self._static_boxes.append(box)
+        self._version += 1
+        return box
+
+    def add_dynamic_box(self, key: str, box: Box) -> Box:
+        """Add or replace a movable obstacle under a stable key."""
+        self._dynamic_boxes[key] = box
+        self._version += 1
+        return box
+
+    def move_dynamic_box(self, key: str, offset: Sequence[float]) -> Box:
+        """Translate a movable obstacle; returns the new box."""
+        if key not in self._dynamic_boxes:
+            raise KeyError(f"no dynamic obstacle named {key!r}")
+        moved = self._dynamic_boxes[key].translated(as_vec3(offset))
+        self._dynamic_boxes[key] = moved
+        self._version += 1
+        return moved
+
+    def remove_dynamic_box(self, key: str) -> None:
+        """Remove a movable obstacle."""
+        if key not in self._dynamic_boxes:
+            raise KeyError(f"no dynamic obstacle named {key!r}")
+        del self._dynamic_boxes[key]
+        self._version += 1
+
+    def add_room(self, room: Room) -> Room:
+        """Register a named room region."""
+        if room.name in self._rooms:
+            raise ValueError(f"room {room.name!r} already defined")
+        self._rooms[room.name] = room
+        return room
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def walls(self) -> Tuple[Wall, ...]:
+        """All walls."""
+        return tuple(self._walls)
+
+    @property
+    def boxes(self) -> Tuple[Box, ...]:
+        """All obstacles, static then dynamic."""
+        return tuple(self._static_boxes) + tuple(self._dynamic_boxes.values())
+
+    @property
+    def rooms(self) -> Dict[str, Room]:
+        """Registered rooms by name."""
+        return dict(self._rooms)
+
+    def room(self, name: str) -> Room:
+        """Look up a room by name."""
+        try:
+            return self._rooms[name]
+        except KeyError:
+            known = ", ".join(sorted(self._rooms)) or "(none)"
+            raise KeyError(f"unknown room {name!r}; known: {known}") from None
+
+    def obstructions_on_segment(
+        self, a: Sequence[float], b: Sequence[float]
+    ) -> List[Material]:
+        """Materials of every wall/box the open segment ``a→b`` crosses."""
+        a3, b3 = as_vec3(a), as_vec3(b)
+        hit: List[Material] = []
+        for wall in self._walls:
+            if wall.intersect_segment(a3, b3) is not None:
+                hit.append(wall.material)
+        for box in self.boxes:
+            if box.intersects_segment(a3, b3):
+                hit.append(box.material)
+        return hit
+
+    def penetration_loss_db(
+        self, a: Sequence[float], b: Sequence[float], frequency_hz: float
+    ) -> float:
+        """Total one-way penetration loss (dB) along segment ``a→b``."""
+        return sum(
+            m.penetration_loss_db(frequency_hz)
+            for m in self.obstructions_on_segment(a, b)
+        )
+
+    def penetration_amplitude(
+        self, a: Sequence[float], b: Sequence[float], frequency_hz: float
+    ) -> float:
+        """Linear amplitude factor for all obstructions along ``a→b``."""
+        return 10.0 ** (-self.penetration_loss_db(a, b, frequency_hz) / 20.0)
+
+    def is_line_of_sight(self, a: Sequence[float], b: Sequence[float]) -> bool:
+        """True when no wall or obstacle crosses the open segment."""
+        return not self.obstructions_on_segment(a, b)
+
+    def reflective_walls(self, min_reflectivity: float = 0.05) -> List[Wall]:
+        """Walls worth considering for specular bounce paths."""
+        return [w for w in self._walls if w.material.reflectivity >= min_reflectivity]
+
+    def bounds(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Axis-aligned bounds covering every wall footprint."""
+        if not self._walls:
+            raise ValueError("environment has no walls")
+        pts = np.concatenate(
+            [np.stack([w.start, w.end]) for w in self._walls], axis=0
+        )
+        lo = pts.min(axis=0)
+        hi = pts.max(axis=0)
+        hi[2] = max(hi[2], self.ceiling_height)
+        return lo, hi
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"Environment({self.name!r}: {len(self._walls)} walls, "
+            f"{len(self._static_boxes)} static + {len(self._dynamic_boxes)} "
+            f"dynamic obstacles, rooms: {sorted(self._rooms) or '-'})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.summary()
+
+
+def describe_obstructions(
+    env: Environment, a: Sequence[float], b: Sequence[float]
+) -> str:
+    """Human-readable obstruction list for diagnostics tooling."""
+    mats = env.obstructions_on_segment(a, b)
+    if not mats:
+        return "line of sight"
+    names = ", ".join(m.name for m in mats)
+    return f"blocked by: {names}"

@@ -1,0 +1,12 @@
+"""Hardware manager layer: drivers registry + non-surface devices."""
+
+from .devices import AccessPoint, ClientDevice, Sensor
+from .manager import HardwareManager, driver_for_panel
+
+__all__ = [
+    "AccessPoint",
+    "ClientDevice",
+    "HardwareManager",
+    "Sensor",
+    "driver_for_panel",
+]

@@ -1,0 +1,211 @@
+"""The hardware manager layer: one registry, unified APIs (§3.1).
+
+The manager owns every driver and non-surface device in the deployment
+and is the *only* path upper layers use to touch hardware.  It exposes:
+
+* registration/lookup for surfaces (via drivers), APs, clients, sensors;
+* unified configuration writes that fan out through drivers, with the
+  control delay accounted against a simulated clock;
+* a specification table for the orchestrator's modeling;
+* feedback routing from endpoints to the drivers' local selection.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Optional
+
+from ..core.configuration import SurfaceConfiguration
+from ..core.errors import UnknownDeviceError
+from ..drivers.base import FeedbackReport, SurfaceDriver
+from ..drivers.amplitude import AmplitudeDriver
+from ..drivers.frequency import FrequencySelectiveDriver
+from ..drivers.phase import PassivePhaseDriver, ProgrammablePhaseDriver
+from ..drivers.polarization import PolarizationDriver
+from ..surfaces.panel import SurfacePanel
+from ..surfaces.specs import SignalProperty, SurfaceSpec
+from .devices import AccessPoint, ClientDevice, Sensor
+
+
+def driver_for_panel(panel: SurfacePanel) -> SurfaceDriver:
+    """Instantiate the right driver class for a panel's capabilities.
+
+    The dispatch order prefers phase control (the dominant modality in
+    Table 1) and falls back through amplitude, polarization, frequency.
+    """
+    spec = panel.spec
+    if spec.supports(SignalProperty.PHASE):
+        if spec.is_passive:
+            return PassivePhaseDriver(panel)
+        return ProgrammablePhaseDriver(panel)
+    if spec.supports(SignalProperty.AMPLITUDE):
+        return AmplitudeDriver(panel)
+    if spec.supports(SignalProperty.POLARIZATION):
+        return PolarizationDriver(panel)
+    if spec.supports(SignalProperty.FREQUENCY):
+        return FrequencySelectiveDriver(panel, bands_hz=[spec.band_hz])
+    raise UnknownDeviceError(
+        f"no driver for {spec.design}: controls {sorted(p.value for p in spec.properties)}"
+    )
+
+
+class HardwareManager:
+    """Registry + unified control for all hardware in one environment."""
+
+    def __init__(self) -> None:
+        self._drivers: Dict[str, SurfaceDriver] = {}
+        self._aps: Dict[str, AccessPoint] = {}
+        self._clients: Dict[str, ClientDevice] = {}
+        self._sensors: Dict[str, Sensor] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+
+    def register_surface(
+        self,
+        panel: SurfacePanel,
+        driver: Optional[SurfaceDriver] = None,
+    ) -> SurfaceDriver:
+        """Register a panel, auto-selecting its driver unless given."""
+        if panel.panel_id in self._drivers:
+            raise UnknownDeviceError(
+                f"surface {panel.panel_id!r} already registered"
+            )
+        driver = driver or driver_for_panel(panel)
+        self._drivers[panel.panel_id] = driver
+        return driver
+
+    def unregister_surface(self, surface_id: str) -> None:
+        """Remove a surface from management."""
+        if surface_id not in self._drivers:
+            raise UnknownDeviceError(f"unknown surface {surface_id!r}")
+        del self._drivers[surface_id]
+
+    def register_access_point(self, ap: AccessPoint) -> AccessPoint:
+        """Register an AP/base station."""
+        if ap.ap_id in self._aps:
+            raise UnknownDeviceError(f"AP {ap.ap_id!r} already registered")
+        self._aps[ap.ap_id] = ap
+        return ap
+
+    def register_client(self, client: ClientDevice) -> ClientDevice:
+        """Register an end-user device."""
+        if client.client_id in self._clients:
+            raise UnknownDeviceError(
+                f"client {client.client_id!r} already registered"
+            )
+        self._clients[client.client_id] = client
+        return client
+
+    def register_sensor(self, sensor: Sensor) -> Sensor:
+        """Register an external sensor."""
+        if sensor.sensor_id in self._sensors:
+            raise UnknownDeviceError(
+                f"sensor {sensor.sensor_id!r} already registered"
+            )
+        self._sensors[sensor.sensor_id] = sensor
+        return sensor
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+
+    def driver(self, surface_id: str) -> SurfaceDriver:
+        """The driver managing a surface."""
+        try:
+            return self._drivers[surface_id]
+        except KeyError:
+            known = ", ".join(sorted(self._drivers)) or "(none)"
+            raise UnknownDeviceError(
+                f"unknown surface {surface_id!r}; known: {known}"
+            ) from None
+
+    def panel(self, surface_id: str) -> SurfacePanel:
+        """The panel behind a surface id."""
+        return self.driver(surface_id).panel
+
+    def panels(self) -> List[SurfacePanel]:
+        """All registered panels, sorted by id."""
+        return [self._drivers[sid].panel for sid in sorted(self._drivers)]
+
+    def surface_ids(self) -> List[str]:
+        """All surface ids, sorted."""
+        return sorted(self._drivers)
+
+    def access_point(self, ap_id: str) -> AccessPoint:
+        """Look up an AP."""
+        try:
+            return self._aps[ap_id]
+        except KeyError:
+            raise UnknownDeviceError(f"unknown AP {ap_id!r}") from None
+
+    def access_points(self) -> List[AccessPoint]:
+        """All APs, sorted by id."""
+        return [self._aps[k] for k in sorted(self._aps)]
+
+    def client(self, client_id: str) -> ClientDevice:
+        """Look up a client device."""
+        try:
+            return self._clients[client_id]
+        except KeyError:
+            raise UnknownDeviceError(f"unknown client {client_id!r}") from None
+
+    def clients(self) -> List[ClientDevice]:
+        """All clients, sorted by id."""
+        return [self._clients[k] for k in sorted(self._clients)]
+
+    def sensor(self, sensor_id: str) -> Sensor:
+        """Look up a sensor."""
+        try:
+            return self._sensors[sensor_id]
+        except KeyError:
+            raise UnknownDeviceError(f"unknown sensor {sensor_id!r}") from None
+
+    # ------------------------------------------------------------------
+    # unified operations
+    # ------------------------------------------------------------------
+
+    def specifications(self) -> Dict[str, SurfaceSpec]:
+        """Spec table for all managed surfaces (orchestrator input)."""
+        return {sid: d.spec for sid, d in self._drivers.items()}
+
+    def push_configuration(
+        self,
+        surface_id: str,
+        config: SurfaceConfiguration,
+        now: float = 0.0,
+        name: str = "live",
+        activate: bool = True,
+    ) -> float:
+        """Queue a configuration write; returns the live time."""
+        return self.driver(surface_id).push_configuration(
+            name, config, now=now, activate=activate
+        )
+
+    def commit_all(self, now: float) -> int:
+        """Apply every in-flight write whose control delay elapsed."""
+        return sum(d.commit(now) for d in self._drivers.values())
+
+    def pending_total(self) -> int:
+        """Writes still in flight across all drivers."""
+        return sum(d.pending_count() for d in self._drivers.values())
+
+    def snapshot(self) -> Dict[str, SurfaceConfiguration]:
+        """Live configuration of every surface (data-plane state)."""
+        return {
+            sid: d.panel.configuration for sid, d in self._drivers.items()
+        }
+
+    def route_feedback(
+        self, surface_id: str, report: FeedbackReport
+    ) -> Optional[str]:
+        """Deliver endpoint feedback to one surface's local selection."""
+        return self.driver(surface_id).apply_feedback(report)
+
+    def summary(self) -> str:
+        """One-line deployment description."""
+        return (
+            f"HardwareManager({len(self._drivers)} surfaces, "
+            f"{len(self._aps)} APs, {len(self._clients)} clients, "
+            f"{len(self._sensors)} sensors)"
+        )

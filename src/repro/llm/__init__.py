@@ -1,0 +1,31 @@
+"""LLM automation layer: intent translation and driver generation."""
+
+from .client import LLMClient
+from .design import parse_design_request, recommend_designs
+from .datasheet import (
+    SAMPLE_DATASHEETS,
+    driver_from_datasheet,
+    generate_driver_source,
+    load_driver_class,
+    parse_datasheet,
+)
+from .intent import IntentTranslator, build_prompt, dispatch_calls, parse_calls
+from .mock import DEFAULT_RULES, IntentRule, MockLLM
+
+__all__ = [
+    "DEFAULT_RULES",
+    "IntentRule",
+    "IntentTranslator",
+    "LLMClient",
+    "MockLLM",
+    "SAMPLE_DATASHEETS",
+    "build_prompt",
+    "dispatch_calls",
+    "driver_from_datasheet",
+    "generate_driver_source",
+    "load_driver_class",
+    "parse_calls",
+    "parse_datasheet",
+    "parse_design_request",
+    "recommend_designs",
+]

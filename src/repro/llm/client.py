@@ -1,0 +1,21 @@
+"""The LLM client protocol.
+
+SurfOS uses LLMs "as an external tool" (§3.4); everything above this
+protocol is model-agnostic.  The repository ships a deterministic
+offline implementation (:class:`~repro.llm.mock.MockLLM`); a production
+deployment would drop in a client backed by a hosted model with the
+same one-method surface.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class LLMClient(Protocol):
+    """Anything that completes a prompt into text."""
+
+    def complete(self, prompt: str) -> str:
+        """Return the model's completion for a prompt."""
+        ...

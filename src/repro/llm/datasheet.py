@@ -1,0 +1,298 @@
+"""Hardware driver generation from datasheets (§3.4).
+
+"LLMs can assist by parsing and summarizing long text, such as
+datasheets or research papers, to generate surface hardware
+specifications ... On that basis, LLMs may further synthesize the
+driver code based on the specifications generated."
+
+This module implements that pipeline offline: a tolerant datasheet
+parser extracts a :class:`SurfaceSpec` from free-form vendor text, and
+a code generator emits a ready-to-exec driver class bound to that spec.
+The extraction rules stand in for the language model (the repository
+has no network access); the pipeline shape — text → spec → generated
+source → loaded driver — is exactly the paper's.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, Optional, Tuple
+
+from ..core.configuration import Granularity
+from ..core.errors import TranslationError
+from ..surfaces.specs import OperationMode, SignalProperty, SurfaceSpec
+
+_FREQ_UNITS = {"ghz": 1e9, "mhz": 1e6, "khz": 1e3, "hz": 1.0}
+_TIME_UNITS = {
+    "ns": 1e-9,
+    "nanosecond": 1e-9,
+    "us": 1e-6,
+    "microsecond": 1e-6,
+    "µs": 1e-6,
+    "ms": 1e-3,
+    "millisecond": 1e-3,
+    "s": 1.0,
+    "second": 1.0,
+}
+
+
+def _find_band(text: str) -> Tuple[float, float]:
+    lowered = text.lower()
+    # "59.0 - 61.0 GHz" or "2.4 GHz"
+    range_match = re.search(
+        r"(\d+(?:\.\d+)?)\s*(?:ghz|mhz)?\s*[-–to]+\s*(\d+(?:\.\d+)?)\s*(ghz|mhz)",
+        lowered,
+    )
+    if range_match:
+        unit = _FREQ_UNITS[range_match.group(3)]
+        return float(range_match.group(1)) * unit, float(
+            range_match.group(2)
+        ) * unit
+    single = re.search(r"(\d+(?:\.\d+)?)\s*(ghz|mhz)", lowered)
+    if single:
+        center = float(single.group(1)) * _FREQ_UNITS[single.group(2)]
+        return 0.96 * center, 1.04 * center
+    raise TranslationError("datasheet: no operating frequency found")
+
+
+def _find_properties(text: str):
+    lowered = text.lower()
+    props = set()
+    if re.search(r"\bphase\b", lowered):
+        props.add(SignalProperty.PHASE)
+    if re.search(r"\bamplitude\b|\bon[/-]?off\b", lowered):
+        props.add(SignalProperty.AMPLITUDE)
+    if "polarization" in lowered or "polarisation" in lowered:
+        props.add(SignalProperty.POLARIZATION)
+    if re.search(r"frequency[- ]selective|resonan(t|ce) tuning", lowered):
+        props.add(SignalProperty.FREQUENCY)
+    if not props:
+        raise TranslationError("datasheet: no signal control modality found")
+    return frozenset(props)
+
+
+def _find_mode(text: str) -> OperationMode:
+    lowered = text.lower()
+    reflective = bool(re.search(r"\breflect", lowered))
+    transmissive = bool(re.search(r"\btransmissive|\btransmit(s)? through", lowered))
+    if reflective and transmissive:
+        return OperationMode.TRANSFLECTIVE
+    if transmissive:
+        return OperationMode.TRANSMISSIVE
+    return OperationMode.REFLECTIVE
+
+
+def _find_reconfigurable(text: str) -> bool:
+    lowered = text.lower()
+    if re.search(r"\bpassive\b|one[- ]time|fixed at fabrication", lowered):
+        return False
+    return bool(
+        re.search(r"reconfigur|programmable|control latency|switching", lowered)
+    )
+
+
+def _find_granularity(text: str) -> Granularity:
+    lowered = text.lower()
+    if "column" in lowered:
+        return Granularity.COLUMN
+    if "row" in lowered:
+        return Granularity.ROW
+    if re.search(r"global|whole[- ]panel", lowered):
+        return Granularity.GLOBAL
+    return Granularity.ELEMENT
+
+
+def _find_control_delay(text: str) -> Optional[float]:
+    lowered = text.lower()
+    match = re.search(
+        r"(?:control |switching |reconfiguration )?laten\w*[:\s]+"
+        r"(\d+(?:\.\d+)?)\s*(ns|us|µs|ms|s)\b",
+        lowered,
+    )
+    if not match:
+        match = re.search(
+            r"(\d+(?:\.\d+)?)\s*(ns|us|µs|ms|s)\s+(?:control|switching|update)",
+            lowered,
+        )
+    if match:
+        return float(match.group(1)) * _TIME_UNITS[match.group(2)]
+    return None
+
+
+def _find_phase_bits(text: str) -> Optional[int]:
+    match = re.search(r"(\d+)[- ]bit", text.lower())
+    return int(match.group(1)) if match else None
+
+
+def _find_cost(text: str) -> Optional[float]:
+    lowered = text.lower()
+    match = re.search(
+        r"\$\s*(\d+(?:\.\d+)?)\s*(?:per|/)\s*element", lowered
+    )
+    if match:
+        return float(match.group(1))
+    match = re.search(r"unit cost[:\s]+\$\s*(\d+(?:\.\d+)?)", lowered)
+    if match:
+        return float(match.group(1))
+    return None
+
+
+def _find_name(text: str) -> str:
+    match = re.search(r"(?:model|product|design)[:\s]+([^\n]+)", text, re.I)
+    if match:
+        return match.group(1).strip()
+    return "generated-surface"
+
+
+def parse_datasheet(text: str) -> SurfaceSpec:
+    """Extract a machine-readable spec from free-form datasheet text."""
+    if not text.strip():
+        raise TranslationError("empty datasheet")
+    reconfigurable = _find_reconfigurable(text)
+    delay = _find_control_delay(text)
+    if not reconfigurable:
+        delay = math.inf
+    elif delay is None:
+        delay = 1e-3  # conservative default for programmable hardware
+    cost = _find_cost(text)
+    return SurfaceSpec(
+        design=_find_name(text),
+        band_hz=_find_band(text),
+        properties=_find_properties(text),
+        operation_mode=_find_mode(text),
+        reconfigurable=reconfigurable,
+        granularity=_find_granularity(text) if reconfigurable else Granularity.ELEMENT,
+        phase_bits=_find_phase_bits(text),
+        control_delay_s=delay,
+        cost_per_element_usd=cost if cost is not None else 1.0,
+        notes="generated from datasheet",
+    )
+
+
+_DRIVER_TEMPLATE = '''"""Auto-generated driver for {design!r}.
+
+Generated by repro.llm.datasheet from the vendor datasheet; do not edit
+by hand — regenerate from the source document instead.
+"""
+
+from repro.drivers import (
+    AmplitudeDriver,
+    PassivePhaseDriver,
+    PolarizationDriver,
+    ProgrammablePhaseDriver,
+)
+
+
+class {class_name}({base}):
+    """{summary}"""
+
+    DESIGN = {design!r}
+    CONTROL_DELAY_S = {delay}
+    RECONFIGURABLE = {reconfigurable!r}
+'''
+
+
+def _base_driver(spec: SurfaceSpec) -> str:
+    if SignalProperty.PHASE in spec.properties:
+        return "PassivePhaseDriver" if spec.is_passive else "ProgrammablePhaseDriver"
+    if SignalProperty.AMPLITUDE in spec.properties:
+        return "AmplitudeDriver"
+    if SignalProperty.POLARIZATION in spec.properties:
+        return "PolarizationDriver"
+    raise TranslationError(
+        f"cannot generate a driver for modalities "
+        f"{sorted(p.value for p in spec.properties)}"
+    )
+
+
+def _class_name(design: str) -> str:
+    words = re.split(r"[^0-9a-zA-Z]+", design)
+    # Upper-case only the first letter, preserving interior case
+    # ("AW-60R" → "AW60R", not "Aw60r").
+    name = "".join(w[:1].upper() + w[1:] for w in words if w)
+    if not name or name[0].isdigit():
+        name = "Surface" + name
+    return name + "Driver"
+
+
+def generate_driver_source(spec: SurfaceSpec) -> str:
+    """Emit Python source for a driver class bound to a spec."""
+    lo, hi = spec.band_hz
+    summary = (
+        f"{spec.design}: {lo / 1e9:g}-{hi / 1e9:g} GHz "
+        f"{spec.operation_mode.value} surface, "
+        f"{'passive' if spec.is_passive else 'programmable'}."
+    )
+    delay = (
+        'float("inf")'
+        if math.isinf(spec.control_delay_s)
+        else repr(spec.control_delay_s)
+    )
+    return _DRIVER_TEMPLATE.format(
+        design=spec.design,
+        class_name=_class_name(spec.design),
+        base=_base_driver(spec),
+        summary=summary,
+        delay=delay,
+        reconfigurable=spec.reconfigurable,
+    )
+
+
+def load_driver_class(source: str):
+    """Exec generated driver source and return the driver class.
+
+    The namespace is seeded only with builtins and the generated code's
+    explicit imports resolve through the normal import system; the
+    source comes from :func:`generate_driver_source`, not from model
+    output, so this is code we authored executing code we templated.
+    """
+    module_name = "repro.llm._generated"
+    namespace: Dict[str, object] = {"__name__": module_name}
+    exec(compile(source, "<generated-driver>", "exec"), namespace)
+    classes = [
+        obj
+        for name, obj in namespace.items()
+        if isinstance(obj, type)
+        and name.endswith("Driver")
+        and obj.__module__ == module_name  # skip the imported bases
+    ]
+    if len(classes) != 1:
+        raise TranslationError(
+            f"generated source defined {len(classes)} driver classes"
+        )
+    return classes[0]
+
+
+def driver_from_datasheet(text: str):
+    """End-to-end: datasheet text → (spec, driver class)."""
+    spec = parse_datasheet(text)
+    source = generate_driver_source(spec)
+    return spec, load_driver_class(source)
+
+
+#: Sample vendor datasheets used by tests and the Fig. 6-adjacent demo.
+SAMPLE_DATASHEETS: Dict[str, str] = {
+    "acmewave-60r": (
+        "Model: AcmeWave AW-60R\n"
+        "A reflective metasurface panel for 60 GHz WLAN backhaul.\n"
+        "Operating frequency: 59.0 - 61.0 GHz\n"
+        "Signal control: phase, 2-bit quantized per element\n"
+        "Reconfiguration: element-wise, control latency: 200 us\n"
+        "Unit cost: $2.80 per element\n"
+    ),
+    "budget-sheet-28": (
+        "Model: BudgetSheet BS-28\n"
+        "Fully passive printed reflectarray, fixed at fabrication.\n"
+        "Operating frequency: 27.5 - 28.5 GHz\n"
+        "Signal control: phase (printed pattern)\n"
+        "Unit cost: $0.01 per element\n"
+    ),
+    "iris-amp-24": (
+        "Product: IRIS-AMP 2.4\n"
+        "Transmissive on/off amplitude surface for 2.4 GHz IoT links.\n"
+        "Operating frequency: 2.4 GHz\n"
+        "Signal control: amplitude (on/off switching), latency: 5 ms\n"
+        "Unit cost: $0.90 per element\n"
+    ),
+}

@@ -1,0 +1,86 @@
+"""Design-request parsing: language → design-database queries (§5).
+
+"Based on the user input, LLMs can locate an appropriate design from a
+surface design database."  This module parses a natural-language
+hardware request into a :class:`DesignQuery` and answers it from the
+catalog — the deterministic counterpart of the intent translator, for
+the design stage instead of the service stage.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..autodesign.designdb import DesignQuery, find_design, select_designs
+from ..core.errors import TranslationError
+from ..surfaces.specs import SignalProperty, SurfaceSpec
+
+_FREQ_RE = re.compile(r"(\d+(?:\.\d+)?)\s*(ghz|mhz)", re.I)
+_COST_RE = re.compile(
+    r"(?:under|below|less than|at most|budget of)\s*\$\s*(\d+(?:\.\d+)?)"
+    r"\s*(?:per|/)\s*element",
+    re.I,
+)
+
+_PROPERTY_WORDS = {
+    "phase": SignalProperty.PHASE,
+    "amplitude": SignalProperty.AMPLITUDE,
+    "on/off": SignalProperty.AMPLITUDE,
+    "polarization": SignalProperty.POLARIZATION,
+    "polarisation": SignalProperty.POLARIZATION,
+    "frequency-selective": SignalProperty.FREQUENCY,
+    "wideband tuning": SignalProperty.FREQUENCY,
+}
+
+
+def parse_design_request(text: str) -> DesignQuery:
+    """Parse a hardware request sentence into a design query.
+
+    Understands carriers ("a surface for 60 GHz"), reconfigurability
+    ("passive", "programmable", "steerable"), unit-cost bounds ("under
+    $1 per element"), and control modalities ("phase", "amplitude", …).
+    """
+    if not text.strip():
+        raise TranslationError("empty design request")
+    lowered = text.lower()
+    freq_match = _FREQ_RE.search(lowered)
+    if not freq_match:
+        raise TranslationError(
+            "design request names no operating frequency (e.g. '60 GHz')"
+        )
+    unit = 1e9 if freq_match.group(2).lower() == "ghz" else 1e6
+    frequency_hz = float(freq_match.group(1)) * unit
+
+    reconfigurable: Optional[bool] = None
+    if re.search(r"\bpassive\b|zero[- ]power|printed", lowered):
+        reconfigurable = False
+    elif re.search(r"programmable|reconfigur|steerable|dynamic", lowered):
+        reconfigurable = True
+
+    cost_match = _COST_RE.search(lowered)
+    max_cost = float(cost_match.group(1)) if cost_match else float("inf")
+
+    properties: Tuple[SignalProperty, ...] = tuple(
+        {
+            prop
+            for word, prop in _PROPERTY_WORDS.items()
+            if word in lowered
+        }
+    ) or (SignalProperty.PHASE,)
+
+    return DesignQuery(
+        frequency_hz=frequency_hz,
+        reconfigurable=reconfigurable,
+        max_cost_per_element_usd=max_cost,
+        properties=properties,
+    )
+
+
+def recommend_designs(text: str, limit: int = 3) -> List[SurfaceSpec]:
+    """End to end: request sentence → ranked designs (adapted if needed)."""
+    query = parse_design_request(text)
+    matches = select_designs(query)
+    if matches:
+        return matches[:limit]
+    return [find_design(query)]

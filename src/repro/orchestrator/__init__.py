@@ -1,0 +1,58 @@
+"""Surface orchestrator: tasks, scheduling, multiplexing, optimization."""
+
+from .blockcoord import coefficients_from_phases, optimize_surfaces
+from .multiplex import MultiplexStrategy, propose_slices
+from .objectives import (
+    CoverageGoal,
+    CoverageObjective,
+    FiniteDifferenceObjective,
+    JointObjective,
+    LocalizationObjective,
+    Objective,
+    PoweringObjective,
+)
+from .optimizers import (
+    Adam,
+    GradientDescent,
+    OptimizationResult,
+    Optimizer,
+    RandomSearch,
+    SimulatedAnnealing,
+    panel_projection,
+)
+from .orchestrator import SurfaceOrchestrator
+from .scheduler import Scheduler
+from .virtualization import Hypervisor, TenantPolicy, VirtualOrchestrator
+from .slices import ResourceSlice, SliceAllocator
+from .tasks import ServiceTask, ServiceType, TaskState
+
+__all__ = [
+    "Adam",
+    "CoverageGoal",
+    "CoverageObjective",
+    "FiniteDifferenceObjective",
+    "GradientDescent",
+    "Hypervisor",
+    "JointObjective",
+    "LocalizationObjective",
+    "MultiplexStrategy",
+    "Objective",
+    "OptimizationResult",
+    "Optimizer",
+    "PoweringObjective",
+    "RandomSearch",
+    "ResourceSlice",
+    "Scheduler",
+    "ServiceTask",
+    "ServiceType",
+    "SimulatedAnnealing",
+    "SliceAllocator",
+    "SurfaceOrchestrator",
+    "TenantPolicy",
+    "TaskState",
+    "VirtualOrchestrator",
+    "coefficients_from_phases",
+    "optimize_surfaces",
+    "panel_projection",
+    "propose_slices",
+]

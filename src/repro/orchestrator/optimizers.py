@@ -1,0 +1,252 @@
+"""Configuration optimizers for the surface orchestrator (§3.2).
+
+The paper's optimizer "uses gradient descent, while other algorithms can
+be easily supported" — here are four interchangeable ones behind a
+common interface: Adam and vanilla gradient descent (analytic
+gradients), random search, and simulated annealing (value-only).
+
+Hardware constraints (phase quantization, coarse granularity) are
+expressed as an optional *projection* applied to the final answer and,
+for projected-descent variants, at every step.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.errors import OptimizationError
+from .objectives import Objective
+
+#: Maps a raw phase vector onto the hardware's feasible set.
+Projection = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of one optimizer run.
+
+    Attributes:
+        phases: best feasible phase vector found.
+        loss: objective value at ``phases`` (after projection).
+        history: loss trajectory, one entry per iteration.
+        iterations: iterations actually executed.
+        converged: whether the tolerance stop fired before the budget.
+    """
+
+    phases: np.ndarray
+    loss: float
+    history: List[float] = field(default_factory=list)
+    iterations: int = 0
+    converged: bool = False
+
+
+class Optimizer:
+    """Interface: minimize an objective from an initial phase vector."""
+
+    def optimize(
+        self,
+        objective: Objective,
+        initial_phases: np.ndarray,
+        projection: Optional[Projection] = None,
+    ) -> OptimizationResult:
+        """Run the optimizer; always returns a projected, evaluated result."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _finalize(
+        objective: Objective,
+        phases: np.ndarray,
+        history: List[float],
+        iterations: int,
+        converged: bool,
+        projection: Optional[Projection],
+    ) -> OptimizationResult:
+        if projection is not None:
+            phases = projection(phases)
+        loss = objective.value(phases)
+        return OptimizationResult(
+            phases=phases,
+            loss=loss,
+            history=history,
+            iterations=iterations,
+            converged=converged,
+        )
+
+
+@dataclass
+class GradientDescent(Optimizer):
+    """Plain gradient descent with optional momentum.
+
+    Attributes:
+        learning_rate: step size on the phase vector.
+        momentum: classical momentum coefficient (0 disables).
+        max_iterations: iteration budget.
+        tolerance: stop when the loss improves less than this.
+        project_each_step: apply the projection inside the loop
+            (projected gradient descent) instead of only at the end.
+    """
+
+    learning_rate: float = 0.3
+    momentum: float = 0.0
+    max_iterations: int = 150
+    tolerance: float = 1e-7
+    project_each_step: bool = False
+
+    def optimize(self, objective, initial_phases, projection=None):
+        phases = np.asarray(initial_phases, dtype=float).reshape(-1).copy()
+        velocity = np.zeros_like(phases)
+        history: List[float] = []
+        converged = False
+        for iteration in range(self.max_iterations):
+            loss, grad = objective.value_and_gradient(phases)
+            history.append(loss)
+            if len(history) > 1 and abs(history[-2] - loss) < self.tolerance:
+                converged = True
+                break
+            velocity = self.momentum * velocity - self.learning_rate * grad
+            phases = phases + velocity
+            if self.project_each_step and projection is not None:
+                phases = projection(phases)
+        return self._finalize(
+            objective, phases, history, len(history), converged, projection
+        )
+
+
+@dataclass
+class Adam(Optimizer):
+    """Adam: the default optimizer for every experiment in this repo."""
+
+    learning_rate: float = 0.15
+    beta1: float = 0.9
+    beta2: float = 0.999
+    epsilon: float = 1e-8
+    max_iterations: int = 200
+    tolerance: float = 1e-7
+
+    def optimize(self, objective, initial_phases, projection=None):
+        phases = np.asarray(initial_phases, dtype=float).reshape(-1).copy()
+        m = np.zeros_like(phases)
+        v = np.zeros_like(phases)
+        history: List[float] = []
+        best_phases, best_loss = phases.copy(), math.inf
+        converged = False
+        for iteration in range(1, self.max_iterations + 1):
+            loss, grad = objective.value_and_gradient(phases)
+            history.append(loss)
+            if loss < best_loss:
+                best_loss, best_phases = loss, phases.copy()
+            if len(history) > 5 and abs(history[-5] - loss) < self.tolerance:
+                converged = True
+                break
+            m = self.beta1 * m + (1.0 - self.beta1) * grad
+            v = self.beta2 * v + (1.0 - self.beta2) * grad * grad
+            m_hat = m / (1.0 - self.beta1 ** iteration)
+            v_hat = v / (1.0 - self.beta2 ** iteration)
+            phases = phases - self.learning_rate * m_hat / (
+                np.sqrt(v_hat) + self.epsilon
+            )
+        return self._finalize(
+            objective, best_phases, history, len(history), converged, projection
+        )
+
+
+@dataclass
+class RandomSearch(Optimizer):
+    """Gaussian perturbation search (no gradients).
+
+    Keeps the incumbent and samples ``population`` perturbations per
+    iteration with a step scale that decays on failure to improve.
+    """
+
+    population: int = 16
+    initial_scale: float = 1.0
+    decay: float = 0.9
+    max_iterations: int = 60
+    seed: int = 0
+
+    def optimize(self, objective, initial_phases, projection=None):
+        rng = np.random.default_rng(self.seed)
+        phases = np.asarray(initial_phases, dtype=float).reshape(-1).copy()
+        best_loss = objective.value(phases)
+        history = [best_loss]
+        scale = self.initial_scale
+        for _ in range(self.max_iterations):
+            improved = False
+            for _ in range(self.population):
+                candidate = phases + rng.normal(scale=scale, size=phases.shape)
+                loss = objective.value(candidate)
+                if loss < best_loss:
+                    best_loss, phases = loss, candidate
+                    improved = True
+            history.append(best_loss)
+            if not improved:
+                scale *= self.decay
+        return self._finalize(
+            objective, phases, history, len(history), False, projection
+        )
+
+
+@dataclass
+class SimulatedAnnealing(Optimizer):
+    """Metropolis annealing over per-element phase flips.
+
+    Proposals perturb a random subset of phases; acceptance follows the
+    Metropolis rule under a geometric temperature schedule.  Useful for
+    heavily quantized hardware where gradients are uninformative.
+    """
+
+    initial_temperature: float = 1.0
+    cooling: float = 0.97
+    steps: int = 600
+    subset_fraction: float = 0.1
+    proposal_scale: float = 1.5
+    seed: int = 0
+
+    def optimize(self, objective, initial_phases, projection=None):
+        if not 0.0 < self.subset_fraction <= 1.0:
+            raise OptimizationError("subset_fraction must lie in (0, 1]")
+        rng = np.random.default_rng(self.seed)
+        phases = np.asarray(initial_phases, dtype=float).reshape(-1).copy()
+        current = objective.value(phases)
+        best_phases, best_loss = phases.copy(), current
+        history = [current]
+        temperature = self.initial_temperature
+        subset = max(1, int(round(self.subset_fraction * phases.size)))
+        for _ in range(self.steps):
+            candidate = phases.copy()
+            idx = rng.choice(phases.size, size=subset, replace=False)
+            candidate[idx] += rng.normal(scale=self.proposal_scale, size=subset)
+            loss = objective.value(candidate)
+            accept = loss < current or rng.random() < math.exp(
+                -(loss - current) / max(temperature, 1e-12)
+            )
+            if accept:
+                phases, current = candidate, loss
+                if loss < best_loss:
+                    best_phases, best_loss = candidate.copy(), loss
+            history.append(current)
+            temperature *= self.cooling
+        return self._finalize(
+            objective, best_phases, history, len(history), False, projection
+        )
+
+
+def panel_projection(panel) -> Projection:
+    """The projection implied by a panel's spec (granularity + bits).
+
+    Returns a callable mapping raw flat phases onto what the hardware
+    will actually actuate, via :meth:`SurfacePanel.feasible`.
+    """
+    from ..core.configuration import SurfaceConfiguration
+
+    def project(phases: np.ndarray) -> np.ndarray:
+        config = SurfaceConfiguration(
+            phases=np.asarray(phases, dtype=float).reshape(panel.shape)
+        )
+        return panel.feasible(config).flat_phases()
+
+    return project

@@ -1,0 +1,664 @@
+"""The surface orchestrator: service APIs + global surface scheduling.
+
+This is SurfOS's central control plane (§3.2).  The service request
+APIs — ``enhance_link()``, ``optimize_coverage()``, ``enable_sensing()``,
+``init_powering()``, ``protect_link()`` — are environment-wide
+abstractions: callers say *what* they need, never *which* surface
+provides it.  Each call creates a :class:`ServiceTask`; the
+orchestrator admits it into resource slices, and
+:meth:`SurfaceOrchestrator.reoptimize` jointly searches all surfaces'
+configurations for every active task (the paper's "multitasking with
+joint optimization"), pushing results through the hardware manager.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..channel.model import ChannelModel, LinearChannelForm
+from ..channel.simulator import ChannelSimulator
+from ..core.configuration import SurfaceConfiguration
+from ..core.errors import ServiceError
+from ..drivers.base import PassiveDriver
+from ..em.noise import LinkBudget
+from ..geometry.environment import Environment
+from ..geometry.vec import as_vec3
+from ..hwmgr.manager import HardwareManager
+from ..services import connectivity, powering, security, sensing
+from .blockcoord import coefficients_from_phases, optimize_surfaces
+from .multiplex import MultiplexStrategy, propose_slices
+from .objectives import JointObjective, Objective
+from .optimizers import Adam, Optimizer
+from .scheduler import Scheduler
+from .tasks import ServiceTask, ServiceType, TaskState
+
+
+@dataclass
+class _TaskContext:
+    """Orchestrator-private bookkeeping for one admitted task."""
+
+    task: ServiceTask
+    points: np.ndarray                      # evaluation points (K_t, 3)
+    weight: float = 1.0                     # contribution to the joint loss
+    legit_local: Optional[np.ndarray] = None     # security: local indices
+    eve_local: Optional[np.ndarray] = None
+    point_offset: int = 0                   # filled per reoptimize pass
+
+
+class SurfaceOrchestrator:
+    """Central control plane over one radio environment."""
+
+    def __init__(
+        self,
+        env: Environment,
+        hardware: HardwareManager,
+        frequency_hz: float,
+        ap_id: Optional[str] = None,
+        optimizer: Optional[Optimizer] = None,
+        grid_spacing_m: float = 0.7,
+        sensing_angles: int = 61,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.env = env
+        self.hardware = hardware
+        self.frequency_hz = frequency_hz
+        self.simulator = ChannelSimulator(env, frequency_hz)
+        self.scheduler = Scheduler()
+        self.optimizer = optimizer or Adam(max_iterations=120)
+        self.grid_spacing_m = grid_spacing_m
+        self.sensing_angles = sensing_angles
+        self.rng = rng or np.random.default_rng(0)
+        self._contexts: Dict[str, _TaskContext] = {}
+        aps = hardware.access_points()
+        if ap_id is None and len(aps) != 1:
+            raise ServiceError(
+                f"need exactly one AP or an explicit ap_id; have {len(aps)}"
+            )
+        self.ap = hardware.access_point(ap_id) if ap_id else aps[0]
+        self.clock_now = 0.0
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def budget(self) -> LinkBudget:
+        """The AP's link budget."""
+        return self.ap.budget
+
+    def _room_points(self, room_id: str, z: float = 1.0) -> np.ndarray:
+        return self.env.room(room_id).grid(self.grid_spacing_m, z=z)
+
+    def _client_point(self, client_id: str) -> np.ndarray:
+        return self.hardware.client(client_id).position[None, :].copy()
+
+    def _admit(
+        self,
+        task: ServiceTask,
+        points: np.ndarray,
+        strategy: MultiplexStrategy,
+        weight: float,
+        **slice_kwargs,
+    ) -> ServiceTask:
+        panels = self.hardware.panels()
+        if not panels:
+            task.transition(TaskState.FAILED, reason="no surfaces registered")
+            raise ServiceError("no surfaces registered with the hardware manager")
+        slices = propose_slices(
+            task, panels, strategy, target_points=points, **slice_kwargs
+        )
+        self.scheduler.admit(task, slices)
+        self._contexts[task.task_id] = _TaskContext(
+            task=task, points=np.atleast_2d(points), weight=weight
+        )
+        return task
+
+    # ------------------------------------------------------------------
+    # service request APIs (the paper's Fig. 6 call surface)
+    # ------------------------------------------------------------------
+
+    def enhance_link(
+        self,
+        client_id: str,
+        snr: Optional[float] = None,
+        latency: Optional[float] = None,
+        priority: int = 6,
+        strategy: MultiplexStrategy = MultiplexStrategy.JOINT,
+        time_fraction: Optional[float] = None,
+    ) -> ServiceTask:
+        """Boost one endpoint's link to a target SNR (dB)."""
+        task = ServiceTask(
+            service=ServiceType.LINK,
+            goal={"client": client_id, "snr_db": snr, "latency_ms": latency},
+            priority=priority,
+            created_at=self.clock_now,
+        )
+        return self._admit(
+            task,
+            self._client_point(client_id),
+            strategy,
+            weight=float(priority),
+            shared_group="joint",
+            time_fraction=time_fraction,
+        )
+
+    def optimize_coverage(
+        self,
+        room_id: str,
+        median_snr: Optional[float] = None,
+        priority: int = 4,
+        strategy: MultiplexStrategy = MultiplexStrategy.JOINT,
+        time_fraction: Optional[float] = None,
+    ) -> ServiceTask:
+        """Raise a room's median SNR (dB) across an evaluation grid."""
+        task = ServiceTask(
+            service=ServiceType.COVERAGE,
+            goal={"room": room_id, "median_snr_db": median_snr},
+            priority=priority,
+            created_at=self.clock_now,
+        )
+        return self._admit(
+            task,
+            self._room_points(room_id),
+            strategy,
+            weight=float(priority),
+            shared_group="joint",
+            time_fraction=time_fraction,
+        )
+
+    def enable_sensing(
+        self,
+        room_id: str,
+        type: str = "tracking",
+        duration: Optional[float] = 3600.0,
+        priority: int = 5,
+        strategy: MultiplexStrategy = MultiplexStrategy.JOINT,
+        time_fraction: Optional[float] = None,
+    ) -> ServiceTask:
+        """Enable AoA-based localization/tracking in a room."""
+        task = ServiceTask(
+            service=ServiceType.SENSING,
+            goal={"room": room_id, "type": type},
+            priority=priority,
+            duration_s=duration,
+            created_at=self.clock_now,
+        )
+        return self._admit(
+            task,
+            self._room_points(room_id),
+            strategy,
+            weight=float(priority),
+            shared_group="joint",
+            time_fraction=time_fraction,
+        )
+
+    def init_powering(
+        self,
+        client_id: str,
+        duration: Optional[float] = 3600.0,
+        priority: int = 3,
+        strategy: MultiplexStrategy = MultiplexStrategy.JOINT,
+        time_fraction: Optional[float] = None,
+    ) -> ServiceTask:
+        """Wirelessly charge one device."""
+        task = ServiceTask(
+            service=ServiceType.POWERING,
+            goal={"client": client_id},
+            priority=priority,
+            duration_s=duration,
+            created_at=self.clock_now,
+        )
+        return self._admit(
+            task,
+            self._client_point(client_id),
+            strategy,
+            weight=float(priority),
+            shared_group="joint",
+            time_fraction=time_fraction,
+        )
+
+    def protect_link(
+        self,
+        client_id: str,
+        eavesdropper_position: Sequence[float],
+        priority: int = 7,
+        nulling_weight: float = 1.0,
+        strategy: MultiplexStrategy = MultiplexStrategy.JOINT,
+        time_fraction: Optional[float] = None,
+    ) -> ServiceTask:
+        """Maximize a client's link while nulling an eavesdropper spot."""
+        legit = self._client_point(client_id)
+        eve = as_vec3(eavesdropper_position)[None, :]
+        points = np.concatenate([legit, eve], axis=0)
+        task = ServiceTask(
+            service=ServiceType.SECURITY,
+            goal={
+                "client": client_id,
+                "eavesdropper": list(map(float, eve[0])),
+                "nulling_weight": nulling_weight,
+            },
+            priority=priority,
+            created_at=self.clock_now,
+        )
+        admitted = self._admit(
+            task,
+            points,
+            strategy,
+            weight=float(priority),
+            shared_group="joint",
+            time_fraction=time_fraction,
+        )
+        ctx = self._contexts[task.task_id]
+        ctx.legit_local = np.array([0])
+        ctx.eve_local = np.array([1])
+        return admitted
+
+    # ------------------------------------------------------------------
+    # joint optimization over all active tasks
+    # ------------------------------------------------------------------
+
+    def active_contexts(self) -> List[_TaskContext]:
+        """Contexts of READY/RUNNING tasks, highest priority first."""
+        active = self.scheduler.tasks(TaskState.READY, TaskState.RUNNING)
+        return [self._contexts[t.task_id] for t in active]
+
+    def _sensing_estimator(
+        self, model: ChannelModel, surface_id: str
+    ) -> sensing.AoAEstimator:
+        panel = self.hardware.panel(surface_id)
+        grid = sensing.AngleGrid.uniform(count=self.sensing_angles)
+        return sensing.AoAEstimator(
+            panel,
+            sensing.surface_illumination(model, surface_id),
+            grid,
+            self.frequency_hz,
+        )
+
+    def _task_objective(
+        self,
+        ctx: _TaskContext,
+        form: LinearChannelForm,
+        amplitudes: np.ndarray,
+        surface_id: str,
+        model: ChannelModel,
+    ) -> Objective:
+        k = ctx.points.shape[0]
+        local = form.restricted(
+            range(ctx.point_offset, ctx.point_offset + k)
+        )
+        service = ctx.task.service
+        if service in (ServiceType.LINK, ServiceType.COVERAGE):
+            return connectivity.coverage_objective(
+                local, amplitudes=amplitudes, budget=self.budget
+            )
+        if service is ServiceType.POWERING:
+            return powering.powering_objective(
+                local, amplitudes=amplitudes, budget=self.budget
+            )
+        if service is ServiceType.SENSING:
+            estimator = self._sensing_estimator(model, surface_id)
+            return sensing.localization_objective(
+                model,
+                surface_id,
+                estimator,
+                point_indices=range(ctx.point_offset, ctx.point_offset + k),
+                amplitudes=amplitudes,
+                budget=self.budget,
+            )
+        if service is ServiceType.SECURITY:
+            return security.security_objective(
+                local,
+                legit_indices=ctx.legit_local,
+                eavesdropper_indices=ctx.eve_local,
+                amplitudes=amplitudes,
+                budget=self.budget,
+                nulling_weight=ctx.task.goal.get("nulling_weight", 1.0),
+            )
+        raise ServiceError(f"no objective for service {service}")
+
+    def _is_joint(self, ctx: _TaskContext) -> bool:
+        """Whether a task holds configuration-multiplexed slices."""
+        return any(
+            s.shared_group for s in self.scheduler.slices_of(ctx.task.task_id)
+        )
+
+    def _optimizable_panels(self) -> List[SurfacePanel]:
+        panels = []
+        for panel in self.hardware.panels():
+            driver = self.hardware.driver(panel.panel_id)
+            if isinstance(driver, PassiveDriver) and driver.fabricated:
+                continue  # fixed forever
+            panels.append(panel)
+        return panels
+
+    def _optimize_group(
+        self,
+        model: ChannelModel,
+        contexts: Sequence[_TaskContext],
+        optimizable: Sequence[SurfacePanel],
+        rounds: int,
+    ) -> Dict[str, np.ndarray]:
+        """Block-coordinate search for one group of co-served tasks.
+
+        Returns the optimized flat phase vector per optimizable surface.
+        Each surface gets its own objective builder because sensing
+        predictions are per-surface.
+        """
+        total_weight = sum(c.weight for c in contexts) or 1.0
+        by_id = {p.panel_id: p for p in self.hardware.panels()}
+        phases = {
+            p.panel_id: p.configuration.flat_phases() for p in optimizable
+        }
+
+        def coeffs() -> Dict[str, np.ndarray]:
+            out = {}
+            for sid, panel in by_id.items():
+                if sid in phases:
+                    out[sid] = coefficients_from_phases(panel, phases[sid])
+                else:
+                    out[sid] = panel.configuration.coefficients().reshape(-1)
+            return out
+
+        from .optimizers import panel_projection
+
+        for _ in range(rounds):
+            for panel in optimizable:
+                sid = panel.panel_id
+                form = model.linear_form(sid, coeffs())
+                amplitudes = panel.configuration.amplitudes.reshape(-1)
+                parts: List[Tuple[Objective, float]] = []
+                for ctx in contexts:
+                    objective = self._task_objective(
+                        ctx, form, amplitudes, sid, model
+                    )
+                    parts.append((objective, ctx.weight / total_weight))
+                joint = parts[0][0] if len(parts) == 1 else JointObjective(parts)
+                result = self.optimizer.optimize(
+                    joint, phases[sid], projection=panel_projection(panel)
+                )
+                phases[sid] = result.phases
+        return phases
+
+    def _phases_to_config(
+        self, panel: SurfacePanel, phases: np.ndarray, name: str
+    ) -> SurfaceConfiguration:
+        return SurfaceConfiguration(
+            phases=np.asarray(phases).reshape(panel.shape),
+            amplitudes=panel.configuration.amplitudes.copy(),
+            name=name,
+            frequency_hz=self.frequency_hz,
+        )
+
+    def reoptimize(
+        self,
+        now: Optional[float] = None,
+        rounds: int = 2,
+        push: bool = True,
+    ) -> Dict[str, SurfaceConfiguration]:
+        """Optimize all surfaces for every active task.
+
+        Tasks holding configuration-multiplexed (shared-group) slices
+        are served by one *joint* configuration; tasks holding
+        time-division slices each get their own configuration, stored
+        as a codebook entry named ``task-<id>`` and cycled at data-plane
+        speed by :meth:`activate_task_slot` — the §3.2 time-division
+        multiplexing.  Returns the joint configurations per surface
+        (the live ones when a joint group exists).
+
+        With ``push`` the configurations are queued through the hardware
+        manager; passive surfaces are fabricated on first optimization
+        and skipped afterwards (they cannot take part in TDM).
+        """
+        if now is not None:
+            self.clock_now = now
+        contexts = self.active_contexts()
+        if not contexts:
+            raise ServiceError("no active tasks to optimize for")
+        panels = self.hardware.panels()
+        offset = 0
+        point_blocks = []
+        for ctx in contexts:
+            ctx.point_offset = offset
+            offset += ctx.points.shape[0]
+            point_blocks.append(ctx.points)
+        all_points = np.concatenate(point_blocks, axis=0)
+        model = self.simulator.build(self.ap.node(), all_points, panels)
+
+        optimizable = self._optimizable_panels()
+        if not optimizable:
+            raise ServiceError("every surface is passive and already fabricated")
+
+        joint_contexts = [c for c in contexts if self._is_joint(c)]
+        slotted_contexts = [c for c in contexts if not self._is_joint(c)]
+
+        new_configs: Dict[str, SurfaceConfiguration] = {}
+        slot_configs: Dict[str, Dict[str, SurfaceConfiguration]] = {}
+
+        if joint_contexts:
+            phases = self._optimize_group(
+                model, joint_contexts, optimizable, rounds
+            )
+            for panel in optimizable:
+                new_configs[panel.panel_id] = self._phases_to_config(
+                    panel,
+                    phases[panel.panel_id],
+                    f"orchestrated@{self.clock_now:.3f}",
+                )
+
+        for ctx in slotted_contexts:
+            phases = self._optimize_group(model, [ctx], optimizable, rounds)
+            entry = {}
+            for panel in optimizable:
+                entry[panel.panel_id] = self._phases_to_config(
+                    panel,
+                    phases[panel.panel_id],
+                    f"task-{ctx.task.task_id}",
+                )
+            slot_configs[ctx.task.task_id] = entry
+
+        if push:
+            self._push_configurations(
+                optimizable, new_configs, slot_configs, bool(joint_contexts)
+            )
+
+        for ctx in contexts:
+            if ctx.task.state is TaskState.READY:
+                self.scheduler.start(ctx.task.task_id)
+        self._record_metrics(model, contexts, slot_configs)
+        if not new_configs and slot_configs:
+            # No joint group: report the first slot's configurations.
+            first = next(iter(slot_configs.values()))
+            return first
+        return new_configs
+
+    def _push_configurations(
+        self,
+        optimizable: Sequence[SurfacePanel],
+        joint_configs: Dict[str, SurfaceConfiguration],
+        slot_configs: Dict[str, Dict[str, SurfaceConfiguration]],
+        have_joint: bool,
+    ) -> None:
+        for panel in optimizable:
+            sid = panel.panel_id
+            driver = self.hardware.driver(sid)
+            if isinstance(driver, PassiveDriver):
+                # Passive hardware gets exactly one configuration: the
+                # joint one if any, else the first slot's.
+                config = joint_configs.get(sid)
+                if config is None and slot_configs:
+                    config = next(iter(slot_configs.values()))[sid]
+                if config is not None:
+                    driver.fabricate(config)
+                continue
+            if sid in joint_configs:
+                driver.push_configuration(
+                    "orchestrated", joint_configs[sid], now=self.clock_now
+                )
+            for slot_index, (task_id, entry) in enumerate(
+                slot_configs.items()
+            ):
+                driver.push_configuration(
+                    f"task-{task_id}",
+                    entry[sid],
+                    now=self.clock_now,
+                    # Without a joint config the first slot goes live.
+                    activate=(not have_joint and slot_index == 0),
+                )
+        delays = [
+            p.spec.control_delay_s
+            for p in optimizable
+            if math.isfinite(p.spec.control_delay_s)
+        ]
+        settle = max(delays) if delays else 0.0
+        self.clock_now += settle
+        self.hardware.commit_all(self.clock_now)
+
+    # ------------------------------------------------------------------
+    # time-division multiplexing (data plane)
+    # ------------------------------------------------------------------
+
+    def tdm_schedule(self) -> List[Tuple[str, float]]:
+        """Active time-division slots as ``(task_id, time_fraction)``.
+
+        Fractions come from the tasks' admitted slices; the runtime
+        cycles slots proportionally via :meth:`activate_task_slot`.
+        """
+        schedule = []
+        for ctx in self.active_contexts():
+            if self._is_joint(ctx):
+                continue
+            slices = self.scheduler.slices_of(ctx.task.task_id)
+            if not slices:
+                continue
+            fraction = min(s.time_fraction for s in slices)
+            schedule.append((ctx.task.task_id, fraction))
+        return schedule
+
+    def activate_task_slot(self, task_id: str) -> List[str]:
+        """Switch every programmable surface to a task's stored slot.
+
+        A data-plane action: local codebook selection, no control-delay
+        cost (the paper's stored-configuration switching).  Returns the
+        surfaces switched.
+        """
+        switched = []
+        name = f"task-{task_id}"
+        for panel in self._optimizable_panels():
+            driver = self.hardware.driver(panel.panel_id)
+            if isinstance(driver, PassiveDriver):
+                continue
+            if name in driver.stored_configurations():
+                driver.select_configuration(name)
+                switched.append(panel.panel_id)
+        if not switched:
+            raise ServiceError(
+                f"no stored slot configurations for task {task_id!r}; "
+                "run reoptimize() first"
+            )
+        return switched
+
+    # ------------------------------------------------------------------
+
+    def _live_coefficients(self) -> Dict[str, np.ndarray]:
+        return {
+            p.panel_id: p.configuration.coefficients().reshape(-1)
+            for p in self.hardware.panels()
+        }
+
+    def _record_metrics(
+        self,
+        model: ChannelModel,
+        contexts: Sequence[_TaskContext],
+        slot_configs: Optional[
+            Dict[str, Dict[str, SurfaceConfiguration]]
+        ] = None,
+    ) -> None:
+        live = self._live_coefficients()
+        live_snrs = connectivity.snr_map_db(model, live, self.budget)
+        for ctx in contexts:
+            k = ctx.points.shape[0]
+            sl = slice(ctx.point_offset, ctx.point_offset + k)
+            # Time-division tasks are measured under *their* slot
+            # configuration, not whatever happens to be live now.
+            entry = (slot_configs or {}).get(ctx.task.task_id)
+            if entry is not None:
+                configs = dict(live)
+                for sid, config in entry.items():
+                    panel = self.hardware.panel(sid)
+                    configs[sid] = (
+                        panel.feasible(config).coefficients().reshape(-1)
+                    )
+                snrs = connectivity.snr_map_db(model, configs, self.budget)
+            else:
+                snrs = live_snrs
+            task_snrs = snrs[sl]
+            ctx.task.record_metrics(
+                median_snr_db=float(np.median(task_snrs)),
+                min_snr_db=float(np.min(task_snrs)),
+            )
+            if ctx.task.service is ServiceType.SECURITY:
+                ctx.task.record_metrics(
+                    secrecy_margin_db=float(
+                        task_snrs[ctx.legit_local].mean()
+                        - task_snrs[ctx.eve_local].mean()
+                    )
+                )
+
+    def evaluate_task(self, task_id: str) -> Dict[str, float]:
+        """Fresh achieved-metric evaluation for one task."""
+        ctx = self._contexts.get(task_id)
+        if ctx is None:
+            raise ServiceError(f"unknown task {task_id!r}")
+        model = self.simulator.build(
+            self.ap.node(), ctx.points, self.hardware.panels()
+        )
+        configs = self._live_coefficients()
+        snrs = connectivity.snr_map_db(model, configs, self.budget)
+        return {
+            "median_snr_db": float(np.median(snrs)),
+            "min_snr_db": float(np.min(snrs)),
+            "max_snr_db": float(np.max(snrs)),
+        }
+
+    def refresh_client_tasks(self, client_id: str) -> List[str]:
+        """Re-point tasks at a client's current position (mobility).
+
+        Called when an endpoint moves: every active task targeting the
+        client gets its evaluation point updated so the next
+        re-optimization serves the new location.  Returns the affected
+        task ids.
+        """
+        position = self._client_point(client_id)
+        affected = []
+        for ctx in self._contexts.values():
+            if ctx.task.is_terminal:
+                continue
+            if ctx.task.goal.get("client") != client_id:
+                continue
+            if ctx.task.service is ServiceType.SECURITY:
+                # Keep the eavesdropper point, move the legitimate one.
+                ctx.points = np.concatenate(
+                    [position, ctx.points[1:]], axis=0
+                )
+            else:
+                ctx.points = position.copy()
+            affected.append(ctx.task.task_id)
+        return affected
+
+    def complete_task(self, task_id: str) -> None:
+        """Finish a task and release its resources."""
+        self.scheduler.complete(task_id)
+        self._contexts.pop(task_id, None)
+
+    def tick(self, now: float) -> List[str]:
+        """Advance time: commit in-flight writes, reap expired tasks."""
+        self.clock_now = now
+        self.hardware.commit_all(now)
+        finished = self.scheduler.reap_expired(now)
+        for task_id in finished:
+            self._contexts.pop(task_id, None)
+        return finished

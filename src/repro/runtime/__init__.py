@@ -1,0 +1,30 @@
+"""Runtime layer: clock, events, environment dynamics, daemon."""
+
+from .clock import SimClock
+from .daemon import ReactionRecord, SurfOSDaemon
+from .dynamics import HUMAN_SIZE, EnvironmentDynamics, Walker
+from .events import (
+    ChannelDegraded,
+    DemandArrived,
+    EndpointMoved,
+    Event,
+    EventBus,
+    FurnitureMoved,
+    HumanMoved,
+)
+
+__all__ = [
+    "ChannelDegraded",
+    "DemandArrived",
+    "EndpointMoved",
+    "Event",
+    "EventBus",
+    "EnvironmentDynamics",
+    "FurnitureMoved",
+    "HUMAN_SIZE",
+    "HumanMoved",
+    "ReactionRecord",
+    "SimClock",
+    "SurfOSDaemon",
+    "Walker",
+]

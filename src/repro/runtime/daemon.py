@@ -1,0 +1,160 @@
+"""The SurfOS runtime daemon: the §5 "OS versus libraries" argument.
+
+A library configures surfaces once at "compile time"; a runtime watches
+the environment and reconfigures.  The daemon subscribes to dynamics
+events, samples coverage through the monitor, and re-optimizes the
+active tasks when degradation crosses a threshold — recording reaction
+latency (detection → configurations live) for the runtime benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.errors import ServiceError
+from ..services.connectivity import snr_map_db
+from ..services.monitoring import ChannelMonitor
+from .clock import SimClock
+from .dynamics import EnvironmentDynamics
+from .events import (
+    ChannelDegraded,
+    EndpointMoved,
+    Event,
+    EventBus,
+    HumanMoved,
+)
+
+
+@dataclass
+class ReactionRecord:
+    """One detection→reconfiguration cycle."""
+
+    detected_at: float
+    completed_at: float
+    trigger: str
+    median_snr_before_db: float
+    median_snr_after_db: float
+
+    @property
+    def reaction_latency_s(self) -> float:
+        """Detection to configurations-live latency."""
+        return self.completed_at - self.detected_at
+
+
+class SurfOSDaemon:
+    """Monitors the environment and keeps active tasks served."""
+
+    def __init__(
+        self,
+        orchestrator,
+        dynamics: Optional[EnvironmentDynamics] = None,
+        monitor: Optional[ChannelMonitor] = None,
+        clock: Optional[SimClock] = None,
+        degradation_threshold_db: float = 8.0,
+        observe_room: Optional[str] = None,
+    ):
+        self.orchestrator = orchestrator
+        self.clock = clock or SimClock()
+        self.bus = dynamics.bus if dynamics else EventBus()
+        self.dynamics = dynamics
+        self.monitor = monitor or ChannelMonitor(
+            drop_threshold_db=degradation_threshold_db
+        )
+        self.reactions: List[ReactionRecord] = []
+        self._observe_room = observe_room
+        self._observe_points: Optional[np.ndarray] = None
+        self._dirty = False
+        self._mobility_dirty = False
+        self.bus.subscribe(HumanMoved, self._on_motion)
+        self.bus.subscribe(EndpointMoved, self._on_endpoint_moved)
+
+    # ------------------------------------------------------------------
+
+    def _points(self) -> np.ndarray:
+        if self._observe_points is None:
+            room = self._observe_room
+            if room is None:
+                contexts = self.orchestrator.active_contexts()
+                if not contexts:
+                    raise ServiceError("daemon has nothing to observe")
+                self._observe_points = np.concatenate(
+                    [c.points for c in contexts], axis=0
+                )
+            else:
+                self._observe_points = self.orchestrator._room_points(room)
+        return self._observe_points
+
+    def _on_motion(self, event: Event) -> None:
+        self._dirty = True
+
+    def _on_endpoint_moved(self, event: EndpointMoved) -> None:
+        """A client moved: re-point its tasks and force reoptimization."""
+        affected = self.orchestrator.refresh_client_tasks(event.client_id)
+        if affected:
+            self._mobility_dirty = True
+
+    def observe(self) -> np.ndarray:
+        """Sample current coverage and feed the monitor."""
+        model = self.orchestrator.simulator.build(
+            self.orchestrator.ap.node(),
+            self._points(),
+            self.orchestrator.hardware.panels(),
+        )
+        configs = self.orchestrator._live_coefficients()
+        snrs = snr_map_db(model, configs, self.orchestrator.budget)
+        anomalies = self.monitor.observe(self.clock.now, snrs)
+        for anomaly in anomalies:
+            self.bus.publish(
+                ChannelDegraded(
+                    time=self.clock.now,
+                    point_index=anomaly.point_index,
+                    drop_db=anomaly.drop_db,
+                )
+            )
+        return snrs
+
+    def step(self, dt: float = 0.5) -> Optional[ReactionRecord]:
+        """One daemon cycle: advance dynamics, observe, react if needed.
+
+        Returns the reaction record when a re-optimization happened.
+        """
+        self.clock.advance(dt)
+        if self.dynamics is not None:
+            self.dynamics.step(dt)
+        snrs_before = self.observe()
+        degraded = bool(
+            self.monitor.anomalies
+            and self.monitor.anomalies[-1].time == self.clock.now
+        )
+        if self._mobility_dirty:
+            trigger = "endpoint-moved"
+        elif degraded and self._dirty:
+            trigger = "channel-degraded"
+        else:
+            return None
+        detected_at = self.clock.now
+        self.orchestrator.reoptimize(now=self.clock.now)
+        self._dirty = False
+        self._mobility_dirty = False
+        snrs_after = self.observe()
+        record = ReactionRecord(
+            detected_at=detected_at,
+            completed_at=self.orchestrator.clock_now,
+            trigger=trigger,
+            median_snr_before_db=float(np.median(snrs_before)),
+            median_snr_after_db=float(np.median(snrs_after)),
+        )
+        self.reactions.append(record)
+        return record
+
+    def run(self, steps: int, dt: float = 0.5) -> List[ReactionRecord]:
+        """Run several daemon cycles; returns reactions that fired."""
+        fired = []
+        for _ in range(steps):
+            record = self.step(dt)
+            if record is not None:
+                fired.append(record)
+        return fired

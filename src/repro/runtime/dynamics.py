@@ -1,0 +1,143 @@
+"""Environment dynamics: scripted people and furniture movement.
+
+The runtime's job is reacting to a physical world it cannot control.
+This engine moves human-sized obstacles along waypoint paths and
+relocates furniture/endpoints on schedules, mutating the
+:class:`Environment` (which bumps its version, invalidating channel
+caches) and publishing events on the bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry.environment import Environment
+from ..geometry.materials import HUMAN
+from ..geometry.shapes import Box
+from ..geometry.vec import as_vec3
+from .events import EndpointMoved, EventBus, FurnitureMoved, HumanMoved
+
+#: Footprint and height of the walker obstacle (meters).
+HUMAN_SIZE = (0.5, 0.5, 1.8)
+
+
+@dataclass
+class Walker:
+    """A person walking a closed waypoint loop.
+
+    Attributes:
+        key: dynamic-obstacle key in the environment.
+        waypoints: loop vertices (each a 2-D/3-D point).
+        speed_mps: walking speed.
+    """
+
+    key: str
+    waypoints: Sequence[Sequence[float]]
+    speed_mps: float = 1.2
+    _leg: int = field(default=0, repr=False)
+    _progress: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.waypoints) < 2:
+            raise ValueError("walker needs at least two waypoints")
+        if self.speed_mps <= 0:
+            raise ValueError("walker speed must be positive")
+        self._points = [as_vec3(w) for w in self.waypoints]
+
+    def position(self) -> np.ndarray:
+        """Current feet position (xy at floor level)."""
+        a = self._points[self._leg]
+        b = self._points[(self._leg + 1) % len(self._points)]
+        leg_len = float(np.linalg.norm(b - a))
+        t = min(self._progress / leg_len, 1.0) if leg_len > 0 else 1.0
+        return a + (b - a) * t
+
+    def step(self, dt: float) -> np.ndarray:
+        """Advance along the loop; returns the new position."""
+        remaining = self.speed_mps * dt
+        while remaining > 0:
+            a = self._points[self._leg]
+            b = self._points[(self._leg + 1) % len(self._points)]
+            leg_len = float(np.linalg.norm(b - a))
+            left_on_leg = leg_len - self._progress
+            if remaining < left_on_leg:
+                self._progress += remaining
+                remaining = 0.0
+            else:
+                remaining -= left_on_leg
+                self._leg = (self._leg + 1) % len(self._points)
+                self._progress = 0.0
+        return self.position()
+
+    def box(self) -> Box:
+        """The obstacle box at the current position."""
+        pos = self.position()
+        w, d, h = HUMAN_SIZE
+        lo = np.array([pos[0] - w / 2, pos[1] - d / 2, 0.0])
+        hi = np.array([pos[0] + w / 2, pos[1] + d / 2, h])
+        return Box(lo, hi, HUMAN, name=self.key)
+
+
+class EnvironmentDynamics:
+    """Drives walkers (and one-shot moves) against an environment."""
+
+    def __init__(self, env: Environment, bus: Optional[EventBus] = None):
+        self.env = env
+        self.bus = bus or EventBus()
+        self._walkers: List[Walker] = []
+        self._time = 0.0
+
+    @property
+    def time(self) -> float:
+        """Simulated dynamics time."""
+        return self._time
+
+    def add_walker(self, walker: Walker) -> Walker:
+        """Register a walker and place its obstacle."""
+        self._walkers.append(walker)
+        self.env.add_dynamic_box(walker.key, walker.box())
+        return walker
+
+    def step(self, dt: float) -> int:
+        """Advance all walkers; returns events published."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        self._time += dt
+        published = 0
+        for walker in self._walkers:
+            pos = walker.step(dt)
+            self.env.add_dynamic_box(walker.key, walker.box())
+            self.bus.publish(
+                HumanMoved(
+                    time=self._time,
+                    key=walker.key,
+                    position=tuple(map(float, pos)),
+                )
+            )
+            published += 1
+        return published
+
+    def move_furniture(self, key: str, offset: Sequence[float]) -> None:
+        """Translate a dynamic obstacle once and publish the event."""
+        self.env.move_dynamic_box(key, offset)
+        self.bus.publish(
+            FurnitureMoved(
+                time=self._time,
+                key=key,
+                offset=tuple(map(float, as_vec3(offset))),
+            )
+        )
+
+    def move_endpoint(self, client, position: Sequence[float]) -> None:
+        """Relocate a client device and publish the event."""
+        client.move_to(position)
+        self.bus.publish(
+            EndpointMoved(
+                time=self._time,
+                client_id=client.client_id,
+                position=tuple(map(float, as_vec3(position))),
+            )
+        )

@@ -1,0 +1,67 @@
+"""Service implementations the orchestrator multiplexes over surfaces."""
+
+from .coexistence import (
+    CoexistenceReport,
+    HAZARD_THRESHOLD_DB,
+    VictimNetwork,
+    audit_network,
+    audit_networks,
+)
+from .connectivity import (
+    CoverageReport,
+    coverage_objective,
+    link_objective,
+    required_snr_for_throughput,
+    rss_map_dbm,
+    snr_map_db,
+)
+from .monitoring import Anomaly, ChannelMonitor, MonitorSnapshot
+from .powering import (
+    HARVEST_EFFICIENCY,
+    PoweringReport,
+    SENSITIVITY_DBM,
+    powering_objective,
+    powering_report,
+)
+from .security import SecrecyReport, secrecy_report, security_objective
+from .sensing import (
+    AngleGrid,
+    AoAEstimator,
+    SurfaceAoAObjective,
+    element_noise_power,
+    localization_objective,
+    measure_localization_errors,
+    surface_illumination,
+)
+
+__all__ = [
+    "AngleGrid",
+    "CoexistenceReport",
+    "HAZARD_THRESHOLD_DB",
+    "VictimNetwork",
+    "audit_network",
+    "audit_networks",
+    "Anomaly",
+    "AoAEstimator",
+    "ChannelMonitor",
+    "CoverageReport",
+    "HARVEST_EFFICIENCY",
+    "MonitorSnapshot",
+    "PoweringReport",
+    "SENSITIVITY_DBM",
+    "SecrecyReport",
+    "SurfaceAoAObjective",
+    "coverage_objective",
+    "element_noise_power",
+    "link_objective",
+    "localization_objective",
+    "measure_localization_errors",
+    "powering_objective",
+    "powering_report",
+    "required_snr_for_throughput",
+    "rss_map_dbm",
+    "secrecy_report",
+    "security_objective",
+    "snr_map_db",
+    "surface_illumination",
+]

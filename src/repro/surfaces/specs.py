@@ -1,0 +1,183 @@
+"""Surface hardware specifications.
+
+The paper's hardware manager requires drivers to "explicitly capture
+and expose key hardware parameters to the upper layer" (§3.1):
+wideband frequency response, operation mode, control delay, control
+granularity, plus the cost/size axes that drive the Fig. 4 trade-off
+study.  :class:`SurfaceSpec` is that machine-readable datasheet.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from ..core.configuration import Granularity
+from ..core.units import wavelength
+
+
+class SignalProperty(enum.Enum):
+    """Fundamental signal properties a surface element can alter."""
+
+    PHASE = "phase"
+    AMPLITUDE = "amplitude"
+    POLARIZATION = "polarization"
+    FREQUENCY = "frequency"
+
+
+class OperationMode(enum.Enum):
+    """Whether a surface reflects, transmits, or does both."""
+
+    REFLECTIVE = "reflective"
+    TRANSMISSIVE = "transmissive"
+    TRANSFLECTIVE = "transflective"  # both, e.g. mmWall
+
+    @property
+    def reflects(self) -> bool:
+        """True if the surface redirects energy back into its half-space."""
+        return self in (OperationMode.REFLECTIVE, OperationMode.TRANSFLECTIVE)
+
+    @property
+    def transmits(self) -> bool:
+        """True if the surface passes redirected energy through itself."""
+        return self in (OperationMode.TRANSMISSIVE, OperationMode.TRANSFLECTIVE)
+
+
+@dataclass(frozen=True)
+class SurfaceSpec:
+    """Machine-readable datasheet of one surface hardware design.
+
+    Attributes:
+        design: design name (e.g. ``"mmWall"``).
+        band_hz: ``(low, high)`` operating band edges in Hz.
+        properties: which signal properties the elements control.
+        operation_mode: reflective / transmissive / transflective.
+        reconfigurable: False for passive (one-time programmable).
+        granularity: spatial control granularity when reconfigurable.
+        phase_bits: phase-shifter resolution; ``None`` = continuous.
+        control_delay_s: delay to update a remotely controlled surface;
+            ``math.inf`` for passive hardware (the paper's "ROM").
+        cost_per_element_usd: unit cost driving the Fig. 4b sweep.
+        element_spacing_wavelengths: element pitch at band center.
+        element_gain_dbi: meta-atom boresight gain.
+        element_cos_exponent: meta-atom pattern envelope exponent.
+        out_of_band_loss_db: penetration loss the panel inflicts on
+            signals *outside* its band that must pass through it — the
+            "unintended blocking" hazard of §2.1.
+        max_stored_configurations: codebook capacity (1 for passive).
+        notes: free-form provenance notes.
+    """
+
+    design: str
+    band_hz: Tuple[float, float]
+    properties: FrozenSet[SignalProperty]
+    operation_mode: OperationMode
+    reconfigurable: bool
+    granularity: Granularity = Granularity.ELEMENT
+    phase_bits: Optional[int] = None
+    control_delay_s: float = field(default=1e-3)
+    cost_per_element_usd: float = 1.0
+    element_spacing_wavelengths: float = 0.5
+    element_gain_dbi: float = 5.0
+    element_cos_exponent: float = 1.0
+    out_of_band_loss_db: float = 3.0
+    max_stored_configurations: int = 8
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        lo, hi = self.band_hz
+        if not (0 < lo <= hi):
+            raise ValueError(f"invalid band {self.band_hz} for {self.design}")
+        if not self.properties:
+            raise ValueError(f"{self.design}: must control >=1 signal property")
+        if not self.reconfigurable and not math.isinf(self.control_delay_s):
+            raise ValueError(
+                f"{self.design}: passive surfaces have infinite control delay"
+            )
+        if self.phase_bits is not None and self.phase_bits < 1:
+            raise ValueError(f"{self.design}: phase_bits must be >=1 or None")
+        if self.cost_per_element_usd < 0:
+            raise ValueError(f"{self.design}: negative cost")
+        if self.max_stored_configurations < 1:
+            raise ValueError(f"{self.design}: needs >=1 stored configuration")
+
+    @property
+    def center_frequency_hz(self) -> float:
+        """Geometric center of the operating band."""
+        lo, hi = self.band_hz
+        return math.sqrt(lo * hi)
+
+    @property
+    def element_pitch_m(self) -> float:
+        """Physical element pitch (m) at band center."""
+        return self.element_spacing_wavelengths * wavelength(
+            self.center_frequency_hz
+        )
+
+    @property
+    def is_passive(self) -> bool:
+        """Passive = one-time programmable at fabrication."""
+        return not self.reconfigurable
+
+    def supports(self, prop: SignalProperty) -> bool:
+        """Whether the hardware controls a given signal property."""
+        return prop in self.properties
+
+    def in_band(self, frequency_hz: float) -> bool:
+        """Whether a carrier lies in the operating band."""
+        lo, hi = self.band_hz
+        return lo <= frequency_hz <= hi
+
+    def efficiency(self, frequency_hz: float) -> float:
+        """Redirection amplitude efficiency at a carrier.
+
+        The wideband frequency response of §3.1: unity in band, rolling
+        off smoothly outside (one octave away the surface redirects
+        essentially nothing).
+        """
+        lo, hi = self.band_hz
+        if lo <= frequency_hz <= hi:
+            return 1.0
+        edge = lo if frequency_hz < lo else hi
+        octaves = abs(math.log2(frequency_hz / edge))
+        return max(0.0, 1.0 - min(octaves, 1.0)) ** 2
+
+    def through_loss_db(self, frequency_hz: float) -> float:
+        """Loss inflicted on *other* networks' signals passing through.
+
+        In-band transmissive hardware is engineered to pass signal;
+        everything else presents its out-of-band blocking loss —
+        exactly the §2.1 hazard ("surfaces designed for 2.4 GHz may
+        block 3 GHz cellular and 5 GHz Wi-Fi signals").
+        """
+        if self.in_band(frequency_hz) and self.operation_mode.transmits:
+            return 1.0
+        return self.out_of_band_loss_db
+
+    def summary_row(self) -> Tuple[str, str, str, str, str]:
+        """A Table-1-style row: design, band, control mode, reconfig, cost."""
+        lo, hi = self.band_hz
+        if lo == hi or hi / lo < 1.2:
+            band = f"{lo / 1e9:g} GHz"
+        else:
+            band = f"{lo / 1e9:g}-{hi / 1e9:g} GHz"
+        props = "/".join(sorted(p.value.capitalize() for p in self.properties))
+        mode = {
+            OperationMode.REFLECTIVE: "R",
+            OperationMode.TRANSMISSIVE: "T",
+            OperationMode.TRANSFLECTIVE: "T & R",
+        }[self.operation_mode]
+        if self.reconfigurable:
+            suffix = {
+                Granularity.ELEMENT: "",
+                Granularity.COLUMN: " (column-wise)",
+                Granularity.ROW: " (row-wise)",
+                Granularity.GLOBAL: " (global)",
+            }[self.granularity]
+            reconf = "yes" + suffix
+        else:
+            reconf = "no"
+        cost = f"{self.cost_per_element_usd:.4g} $/el"
+        return (self.design, band, f"{props} {mode}", reconf, cost)

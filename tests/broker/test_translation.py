@@ -1,0 +1,122 @@
+"""Demand models, profiles, and demand→service translation."""
+
+import pytest
+
+from repro.broker import (
+    ApplicationDemand,
+    PROFILES,
+    demand_for,
+    required_snr_db,
+    translate_demand,
+)
+from repro.core.errors import TranslationError
+from repro.em import LinkBudget
+
+
+@pytest.fixture()
+def budget():
+    return LinkBudget(bandwidth_hz=400e6)
+
+
+class TestDemand:
+    def test_validation(self):
+        with pytest.raises(TranslationError):
+            ApplicationDemand("x", "c", "r")  # requests nothing
+        with pytest.raises(TranslationError):
+            ApplicationDemand("x", "c", "r", throughput_mbps=-1)
+        with pytest.raises(TranslationError):
+            ApplicationDemand("x", "c", "r", throughput_mbps=1, latency_ms=0)
+        with pytest.raises(TranslationError):
+            ApplicationDemand("x", "c", "r", charging_w=-0.1)
+        with pytest.raises(TranslationError):
+            ApplicationDemand("x", "c", "r", throughput_mbps=1, priority=-1)
+
+    def test_latency_sensitivity(self):
+        vr = ApplicationDemand("vr", "c", "r", throughput_mbps=400, latency_ms=10)
+        stream = ApplicationDemand(
+            "tv", "c", "r", throughput_mbps=50, latency_ms=200
+        )
+        assert vr.latency_sensitive
+        assert not stream.latency_sensitive
+
+
+class TestProfiles:
+    def test_all_profiles_build(self):
+        for name in PROFILES:
+            demand = demand_for(name, "phone", "bedroom")
+            assert demand.app_name == name
+
+    def test_overrides(self):
+        demand = demand_for("video_streaming", "tv", "living", priority=9)
+        assert demand.priority == 9
+
+    def test_unknown_profile(self):
+        with pytest.raises(TranslationError):
+            demand_for("quantum_teleport", "c", "r")
+
+    def test_vr_profile_shape(self):
+        vr = demand_for("vr_gaming", "headset", "living")
+        assert vr.throughput_mbps >= 100
+        assert vr.latency_sensitive
+        assert vr.needs_sensing
+
+
+class TestRequiredSnr:
+    def test_monotone_in_throughput(self, budget):
+        low = required_snr_db(
+            ApplicationDemand("a", "c", "r", throughput_mbps=10), budget
+        )
+        high = required_snr_db(
+            ApplicationDemand("a", "c", "r", throughput_mbps=800), budget
+        )
+        assert high > low
+
+    def test_latency_adds_margin(self, budget):
+        base = required_snr_db(
+            ApplicationDemand("a", "c", "r", throughput_mbps=100, latency_ms=100),
+            budget,
+        )
+        tight = required_snr_db(
+            ApplicationDemand("a", "c", "r", throughput_mbps=100, latency_ms=10),
+            budget,
+        )
+        assert tight == pytest.approx(base + 3.0)
+
+    def test_requires_throughput(self, budget):
+        with pytest.raises(TranslationError):
+            required_snr_db(
+                ApplicationDemand("a", "c", "r", needs_sensing=True), budget
+            )
+
+
+class TestTranslation:
+    def test_vr_demand_produces_link_and_sensing(self, budget):
+        calls = translate_demand(
+            demand_for("vr_gaming", "headset", "living"), budget
+        )
+        functions = [c.function for c in calls]
+        assert "enhance_link" in functions
+        assert "enable_sensing" in functions
+        link = next(c for c in calls if c.function == "enhance_link")
+        assert link.arguments["client_id"] == "headset"
+        assert link.arguments["snr"] > 0
+
+    def test_secure_banking_produces_protection(self, budget):
+        calls = translate_demand(
+            demand_for("secure_banking", "phone", "living"), budget
+        )
+        functions = [c.function for c in calls]
+        assert "protect_link" in functions
+        protect = next(c for c in calls if c.function == "protect_link")
+        assert protect.arguments["priority"] >= 7
+
+    def test_charging_produces_powering(self, budget):
+        calls = translate_demand(
+            demand_for("wireless_charging", "phone", "living"), budget
+        )
+        assert [c.function for c in calls] == ["init_powering"]
+
+    def test_every_profile_translates(self, budget):
+        for name in PROFILES:
+            calls = translate_demand(demand_for(name, "c", "r"), budget)
+            assert calls

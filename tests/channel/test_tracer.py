@@ -1,0 +1,144 @@
+"""Vectorized tracer vs scalar geometry primitives."""
+
+import numpy as np
+import pytest
+
+from repro.core.units import ghz
+from repro.channel import (
+    PanelObstacle,
+    reflection_paths,
+    segment_amplitude,
+    segment_loss_db,
+)
+from repro.geometry import CONCRETE, DRYWALL, WOOD, Box, Environment, vec3
+from repro.surfaces import GENERIC_PROGRAMMABLE_28, SurfacePanel
+
+FREQ = ghz(28)
+
+
+@pytest.fixture()
+def env():
+    e = Environment(name="tracer", ceiling_height=3.0)
+    e.add_wall_2d((2, -5), (2, 5), CONCRETE, name="mid")
+    e.add_wall_2d((0, 5), (4, 5), DRYWALL, name="top")
+    return e
+
+
+def test_segment_loss_matches_scalar_env(env):
+    a = np.array([[0.0, 0.0, 1.0], [0.0, 6.0, 1.0]])
+    b = np.array([[4.0, 0.0, 1.0], [4.0, 6.0, 1.0]])
+    losses = segment_loss_db(env, a, b, FREQ)
+    assert losses[0] == pytest.approx(
+        env.penetration_loss_db(a[0], b[0], FREQ)
+    )
+    assert losses[1] == pytest.approx(
+        env.penetration_loss_db(a[1], b[1], FREQ)
+    )
+
+
+def test_segment_loss_with_box(env):
+    env.add_box(Box(vec3(3, -0.5, 0), vec3(3.5, 0.5, 2), WOOD))
+    loss = segment_loss_db(
+        env,
+        np.array([[0.0, 0.0, 1.0]]),
+        np.array([[4.0, 0.0, 1.0]]),
+        FREQ,
+    )[0]
+    assert loss == pytest.approx(
+        CONCRETE.penetration_loss_db(FREQ) + WOOD.penetration_loss_db(FREQ)
+    )
+
+
+def test_exclude_walls(env):
+    wall = env.walls[0]
+    loss = segment_loss_db(
+        env,
+        np.array([[0.0, 0.0, 1.0]]),
+        np.array([[4.0, 0.0, 1.0]]),
+        FREQ,
+        exclude_walls=(wall,),
+    )[0]
+    assert loss == pytest.approx(0.0)
+
+
+def test_amplitude_is_db_consistent(env):
+    a = np.array([[0.0, 0.0, 1.0]])
+    b = np.array([[4.0, 0.0, 1.0]])
+    amp = segment_amplitude(env, a, b, FREQ)[0]
+    loss = segment_loss_db(env, a, b, FREQ)[0]
+    assert amp == pytest.approx(10 ** (-loss / 20))
+
+
+def test_mismatched_shapes_rejected(env):
+    with pytest.raises(ValueError):
+        segment_loss_db(env, np.zeros((2, 3)), np.zeros((3, 3)), FREQ)
+
+
+class TestReflection:
+    def test_single_bounce_found(self, env):
+        # Both points in the left half, bouncing off the concrete wall.
+        paths = reflection_paths(env, vec3(0, 0, 1), vec3(0, 2, 1), FREQ)
+        walls = {p.wall.name for p in paths}
+        assert "mid" in walls
+
+    def test_bounce_geometry_is_specular(self, env):
+        paths = reflection_paths(env, vec3(0, 0, 1), vec3(0, 2, 1), FREQ)
+        path = next(p for p in paths if p.wall.name == "mid")
+        # Specular: bounce at y = 1 (midpoint by symmetry), x = 2.
+        assert path.bounce_point[0] == pytest.approx(2.0)
+        assert path.bounce_point[1] == pytest.approx(1.0)
+        direct = np.linalg.norm(vec3(0, 0, 1) - vec3(0, 2, 1))
+        assert path.total_length > direct
+
+    def test_image_length(self, env):
+        paths = reflection_paths(env, vec3(0, 0, 1), vec3(0, 2, 1), FREQ)
+        path = next(p for p in paths if p.wall.name == "mid")
+        # Image method: length equals distance from mirrored source.
+        mirrored = path.wall.mirror_point(vec3(0, 0, 1))
+        assert path.total_length == pytest.approx(
+            float(np.linalg.norm(mirrored - vec3(0, 2, 1)))
+        )
+
+    def test_amplitude_includes_reflectivity(self, env):
+        paths = reflection_paths(env, vec3(0, 0, 1), vec3(0, 2, 1), FREQ)
+        path = next(p for p in paths if p.wall.name == "mid")
+        assert path.amplitude_factor <= CONCRETE.reflectivity + 1e-9
+
+    def test_no_bounce_when_wall_behind(self, env):
+        # Points on opposite sides: mirror path would cross, not bounce.
+        paths = reflection_paths(env, vec3(1, 0, 1), vec3(3, 0, 1), FREQ)
+        assert all(p.wall.name != "mid" for p in paths)
+
+
+class TestPanelObstacle:
+    @pytest.fixture()
+    def obstacle(self):
+        panel = SurfacePanel(
+            "blocker",
+            GENERIC_PROGRAMMABLE_28,
+            16,
+            16,
+            vec3(1, 0, 1),
+            vec3(1, 0, 0),
+        )
+        return PanelObstacle(panel)
+
+    def test_crossing_detected(self, obstacle):
+        a = np.array([[0.0, 0.0, 1.0]])
+        b = np.array([[2.0, 0.0, 1.0]])
+        assert obstacle.crossing_mask(a, b)[0]
+
+    def test_miss_detected(self, obstacle):
+        a = np.array([[0.0, 2.0, 1.0]])
+        b = np.array([[2.0, 2.0, 1.0]])
+        assert not obstacle.crossing_mask(a, b)[0]
+
+    def test_parallel_segment(self, obstacle):
+        a = np.array([[0.5, -1.0, 1.0]])
+        b = np.array([[0.5, 1.0, 1.0]])
+        assert not obstacle.crossing_mask(a, b)[0]
+
+    def test_loss_uses_spec(self, obstacle):
+        assert obstacle.loss_db(ghz(2.4)) == pytest.approx(
+            GENERIC_PROGRAMMABLE_28.out_of_band_loss_db
+        )

@@ -1,0 +1,91 @@
+"""Shared fixtures: a small apartment deployment everything can reuse."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel import ChannelSimulator, ula_node
+from repro.core.units import ghz
+from repro.em import LinkBudget
+from repro.geometry import apartment_sites, two_room_apartment
+from repro.surfaces import (
+    GENERIC_PASSIVE_28,
+    GENERIC_PROGRAMMABLE_28,
+    SurfacePanel,
+)
+
+FREQ = ghz(28.0)
+
+
+@pytest.fixture()
+def env():
+    return two_room_apartment()
+
+
+@pytest.fixture()
+def sites():
+    return apartment_sites()
+
+
+@pytest.fixture()
+def ap(sites):
+    return ula_node(
+        "ap", sites.ap_position, 4, FREQ, axis=(0, 0, 1), boresight=(1, 0.3, 0)
+    )
+
+
+@pytest.fixture()
+def small_passive(sites):
+    return SurfacePanel(
+        "passive",
+        GENERIC_PASSIVE_28,
+        12,
+        12,
+        sites.passive_center,
+        sites.passive_normal,
+    )
+
+
+@pytest.fixture()
+def small_prog(sites):
+    return SurfacePanel(
+        "prog",
+        GENERIC_PROGRAMMABLE_28,
+        8,
+        8,
+        sites.programmable_center,
+        sites.programmable_normal,
+    )
+
+
+@pytest.fixture()
+def single_prog(sites):
+    return SurfacePanel(
+        "s1",
+        GENERIC_PROGRAMMABLE_28,
+        12,
+        12,
+        sites.single_surface_center,
+        sites.single_surface_normal,
+    )
+
+
+@pytest.fixture()
+def simulator(env):
+    return ChannelSimulator(env, FREQ)
+
+
+@pytest.fixture()
+def bedroom_points(env):
+    return env.room("bedroom").grid(1.0)
+
+
+@pytest.fixture()
+def budget():
+    return LinkBudget()
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(42)

@@ -1,0 +1,144 @@
+"""SurfaceConfiguration semantics: wrapping, quantization, granularity."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConfigurationError,
+    Granularity,
+    SurfaceConfiguration,
+    quantize_phase,
+    tie_to_granularity,
+    wrap_phase,
+)
+
+TWO_PI = 2.0 * np.pi
+
+
+def test_wrap_phase_into_canonical_interval():
+    phases = np.array([-0.1, 0.0, TWO_PI, 3 * np.pi])
+    wrapped = wrap_phase(phases)
+    assert np.all(wrapped >= 0.0) and np.all(wrapped < TWO_PI)
+    assert wrapped[3] == pytest.approx(np.pi)
+
+
+def test_quantize_one_bit_snaps_to_zero_or_pi():
+    phases = np.array([[0.1, 3.0, 5.0, 6.2]])
+    q = quantize_phase(phases, bits=1)
+    assert set(np.round(q, 6).ravel()) <= {0.0, round(np.pi, 6)}
+
+
+def test_quantize_levels_count():
+    phases = np.linspace(0, TWO_PI, 64, endpoint=False).reshape(8, 8)
+    q = quantize_phase(phases, bits=2)
+    assert len(np.unique(np.round(q, 9))) <= 4
+
+
+def test_quantize_rejects_zero_bits():
+    with pytest.raises(ConfigurationError):
+        quantize_phase(np.zeros((2, 2)), bits=0)
+
+
+def test_tie_column_shares_state_per_column():
+    rng = np.random.default_rng(0)
+    values = rng.uniform(0, TWO_PI, size=(4, 6))
+    tied = tie_to_granularity(values, Granularity.COLUMN)
+    assert np.allclose(tied, tied[0:1, :])
+
+
+def test_tie_row_shares_state_per_row():
+    rng = np.random.default_rng(1)
+    values = rng.uniform(0, TWO_PI, size=(4, 6))
+    tied = tie_to_granularity(values, Granularity.ROW)
+    assert np.allclose(tied, tied[:, 0:1])
+
+
+def test_tie_element_is_identity():
+    values = np.random.default_rng(2).uniform(0, TWO_PI, size=(3, 3))
+    assert np.allclose(tie_to_granularity(values, Granularity.ELEMENT), values)
+
+
+def test_tie_global_single_value():
+    values = np.random.default_rng(3).uniform(0, TWO_PI, size=(3, 5))
+    tied = tie_to_granularity(values, Granularity.GLOBAL)
+    assert len(np.unique(np.round(tied, 9))) == 1
+
+
+def test_tie_preserves_uniform_input():
+    values = np.full((3, 4), 1.25)
+    for g in Granularity:
+        assert np.allclose(tie_to_granularity(values, g), values)
+
+
+def test_degrees_of_freedom():
+    assert Granularity.ELEMENT.degrees_of_freedom(4, 6) == 24
+    assert Granularity.COLUMN.degrees_of_freedom(4, 6) == 6
+    assert Granularity.ROW.degrees_of_freedom(4, 6) == 4
+    assert Granularity.GLOBAL.degrees_of_freedom(4, 6) == 1
+
+
+def test_configuration_defaults_unit_amplitude():
+    cfg = SurfaceConfiguration.zeros(2, 3)
+    assert cfg.amplitudes.shape == (2, 3)
+    assert np.allclose(cfg.amplitudes, 1.0)
+    assert cfg.num_elements == 6
+
+
+def test_configuration_coefficients_magnitude_phase():
+    cfg = SurfaceConfiguration(
+        phases=np.array([[0.0, np.pi]]), amplitudes=np.array([[1.0, 0.5]])
+    )
+    coeffs = cfg.coefficients()
+    assert coeffs[0, 0] == pytest.approx(1.0)
+    assert coeffs[0, 1] == pytest.approx(-0.5)
+
+
+def test_configuration_rejects_bad_shapes():
+    with pytest.raises(ConfigurationError):
+        SurfaceConfiguration(phases=np.zeros(4))
+    with pytest.raises(ConfigurationError):
+        SurfaceConfiguration(
+            phases=np.zeros((2, 2)), amplitudes=np.zeros((2, 3))
+        )
+
+
+def test_configuration_rejects_amplitude_out_of_range():
+    with pytest.raises(ConfigurationError):
+        SurfaceConfiguration(
+            phases=np.zeros((1, 2)), amplitudes=np.array([[0.5, 1.5]])
+        )
+
+
+def test_random_configuration_deterministic_with_seed():
+    a = SurfaceConfiguration.random(4, 4, rng=np.random.default_rng(7))
+    b = SurfaceConfiguration.random(4, 4, rng=np.random.default_rng(7))
+    assert a == b
+
+
+def test_with_phases_keeps_amplitudes():
+    cfg = SurfaceConfiguration(
+        phases=np.zeros((2, 2)), amplitudes=np.full((2, 2), 0.25)
+    )
+    out = cfg.with_phases(np.full(4, np.pi))
+    assert np.allclose(out.amplitudes, 0.25)
+    assert np.allclose(out.phases, np.pi)
+
+
+def test_copy_is_independent():
+    cfg = SurfaceConfiguration.zeros(2, 2)
+    dup = cfg.copy()
+    dup.phases[0, 0] = 1.0
+    assert cfg.phases[0, 0] == 0.0
+
+
+def test_quantized_configuration_round_trip_name():
+    cfg = SurfaceConfiguration.random(3, 3, rng=np.random.default_rng(0), name="x")
+    q = cfg.quantized(2)
+    assert q.name == "x"
+    assert len(np.unique(np.round(q.phases, 9))) <= 4
+
+
+def test_flat_phases_row_major():
+    phases = np.arange(6.0).reshape(2, 3) * 0.1
+    cfg = SurfaceConfiguration(phases=phases)
+    assert np.allclose(cfg.flat_phases(), phases.reshape(-1))

@@ -1,0 +1,194 @@
+"""Driver base semantics: async updates, codebooks, capability checks."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CapabilityError,
+    ConfigurationError,
+    DriverError,
+    SurfaceConfiguration,
+)
+from repro.drivers import (
+    FeedbackReport,
+    PassivePhaseDriver,
+    ProgrammablePhaseDriver,
+)
+from repro.geometry import vec3
+from repro.surfaces import (
+    GENERIC_PASSIVE_28,
+    GENERIC_PROGRAMMABLE_28,
+    SurfacePanel,
+)
+
+
+def make_prog_panel():
+    return SurfacePanel(
+        "prog", GENERIC_PROGRAMMABLE_28, 4, 4, vec3(0, 0, 1.5), vec3(0, -1, 0)
+    )
+
+
+def make_passive_panel():
+    return SurfacePanel(
+        "pas", GENERIC_PASSIVE_28, 4, 4, vec3(0, 0, 1.5), vec3(0, -1, 0)
+    )
+
+
+@pytest.fixture()
+def driver():
+    return ProgrammablePhaseDriver(make_prog_panel())
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestAsyncUpdates:
+    def test_write_not_live_before_control_delay(self, driver, rng):
+        cfg = SurfaceConfiguration.random(4, 4, rng=rng)
+        ready_at = driver.push_configuration("a", cfg, now=0.0)
+        assert ready_at == pytest.approx(
+            GENERIC_PROGRAMMABLE_28.control_delay_s
+        )
+        assert driver.pending_count() == 1
+        driver.commit(now=ready_at / 2)
+        assert driver.active_configuration_name is None
+        assert driver.pending_count() == 1
+
+    def test_write_live_after_control_delay(self, driver, rng):
+        cfg = SurfaceConfiguration.random(4, 4, rng=rng)
+        ready_at = driver.push_configuration("a", cfg, now=0.0)
+        applied = driver.commit(now=ready_at)
+        assert applied == 1
+        assert driver.active_configuration_name == "a"
+        assert driver.pending_count() == 0
+
+    def test_store_without_activation(self, driver, rng):
+        cfg = SurfaceConfiguration.random(4, 4, rng=rng)
+        driver.push_configuration("standby", cfg, now=0.0, activate=False)
+        driver.commit(now=1.0)
+        assert driver.active_configuration_name is None
+        assert "standby" in driver.stored_configurations()
+
+    def test_multiple_writes_apply_in_order(self, driver, rng):
+        a = SurfaceConfiguration.random(4, 4, rng=rng)
+        b = SurfaceConfiguration.random(4, 4, rng=rng)
+        driver.push_configuration("a", a, now=0.0)
+        driver.push_configuration("b", b, now=0.001)
+        driver.commit(now=1.0)
+        assert driver.active_configuration_name == "b"
+
+    def test_codebook_capacity_enforced(self, driver, rng):
+        for i in range(GENERIC_PROGRAMMABLE_28.max_stored_configurations):
+            driver.push_configuration(
+                f"c{i}", SurfaceConfiguration.random(4, 4, rng=rng), now=0.0
+            )
+        driver.commit(now=1.0)
+        with pytest.raises(DriverError):
+            driver.push_configuration(
+                "overflow", SurfaceConfiguration.random(4, 4, rng=rng), now=1.0
+            )
+
+    def test_rewriting_existing_entry_allowed_at_capacity(self, driver, rng):
+        for i in range(GENERIC_PROGRAMMABLE_28.max_stored_configurations):
+            driver.push_configuration(
+                f"c{i}", SurfaceConfiguration.random(4, 4, rng=rng), now=0.0
+            )
+        driver.commit(now=1.0)
+        # Overwriting an existing name does not raise.
+        driver.push_configuration(
+            "c0", SurfaceConfiguration.random(4, 4, rng=rng), now=1.0
+        )
+
+
+class TestDataPlane:
+    def test_local_selection_is_instant(self, driver, rng):
+        a = SurfaceConfiguration.random(4, 4, rng=rng)
+        b = SurfaceConfiguration.random(4, 4, rng=rng)
+        driver.push_configuration("a", a, now=0.0)
+        driver.push_configuration("b", b, now=0.0, activate=False)
+        driver.commit(now=1.0)
+        driver.select_configuration("b")
+        assert driver.active_configuration_name == "b"
+
+    def test_select_unknown_raises(self, driver):
+        with pytest.raises(DriverError):
+            driver.select_configuration("ghost")
+
+    def test_feedback_picks_best_entry(self, driver, rng):
+        for name in ("a", "b", "c"):
+            driver.push_configuration(
+                name, SurfaceConfiguration.random(4, 4, rng=rng), now=0.0
+            )
+        driver.commit(now=1.0)
+        chosen = driver.apply_feedback(
+            FeedbackReport(
+                client_id="phone",
+                metric_by_configuration={"a": 11.0, "b": 25.0, "c": 18.0},
+            )
+        )
+        assert chosen == "b"
+        assert driver.active_configuration_name == "b"
+
+    def test_feedback_ignores_unknown_entries(self, driver, rng):
+        driver.push_configuration(
+            "a", SurfaceConfiguration.random(4, 4, rng=rng), now=0.0
+        )
+        driver.commit(now=1.0)
+        chosen = driver.apply_feedback(
+            FeedbackReport(
+                client_id="phone", metric_by_configuration={"ghost": 99.0}
+            )
+        )
+        assert chosen is None
+
+
+class TestPassive:
+    def test_fabricate_once(self, rng):
+        drv = PassivePhaseDriver(make_passive_panel())
+        assert not drv.fabricated
+        drv.fabricate(SurfaceConfiguration.random(4, 4, rng=rng))
+        assert drv.fabricated
+        with pytest.raises(CapabilityError):
+            drv.fabricate(SurfaceConfiguration.random(4, 4, rng=rng))
+
+    def test_push_rejected(self, rng):
+        drv = PassivePhaseDriver(make_passive_panel())
+        with pytest.raises(CapabilityError):
+            drv.push_configuration(
+                "x", SurfaceConfiguration.random(4, 4, rng=rng), now=0.0
+            )
+
+    def test_select_rejected(self, rng):
+        drv = PassivePhaseDriver(make_passive_panel())
+        drv.fabricate(SurfaceConfiguration.random(4, 4, rng=rng))
+        with pytest.raises(CapabilityError):
+            drv.select_configuration("fabricated")
+
+    def test_feedback_ignored(self, rng):
+        drv = PassivePhaseDriver(make_passive_panel())
+        drv.fabricate(SurfaceConfiguration.random(4, 4, rng=rng))
+        assert (
+            drv.apply_feedback(
+                FeedbackReport("c", {"fabricated": 10.0})
+            )
+            is None
+        )
+
+    def test_infinite_control_delay(self):
+        assert math.isinf(GENERIC_PASSIVE_28.control_delay_s)
+
+
+class TestValidation:
+    def test_wrong_shape_rejected(self, driver):
+        with pytest.raises(ConfigurationError):
+            driver.push_configuration(
+                "bad", SurfaceConfiguration.zeros(3, 3), now=0.0
+            )
+
+    def test_get_configuration_unknown(self, driver):
+        with pytest.raises(DriverError):
+            driver.get_configuration("ghost")

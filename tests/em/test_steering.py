@@ -1,0 +1,76 @@
+"""Steering vectors and focusing configurations."""
+
+import numpy as np
+import pytest
+
+from repro.core.units import ghz, wavelength
+from repro.em import (
+    beam_codebook_targets,
+    focus_configuration,
+    steering_phases_toward_point,
+    ula_positions,
+)
+from repro.geometry import vec3
+
+FREQ = ghz(28)
+
+
+def test_ula_positions_centered_and_spaced():
+    pos = ula_positions(4, FREQ, center=(0, 0, 1), axis=(0, 0, 1))
+    assert pos.shape == (4, 3)
+    assert np.allclose(pos.mean(axis=0), [0, 0, 1])
+    spacing = np.linalg.norm(pos[1] - pos[0])
+    assert spacing == pytest.approx(0.5 * wavelength(FREQ))
+
+
+def test_ula_rejects_bad_args():
+    with pytest.raises(ValueError):
+        ula_positions(0, FREQ, (0, 0, 0), (0, 0, 1))
+    with pytest.raises(ValueError):
+        ula_positions(2, FREQ, (0, 0, 0), (0, 0, 0))
+
+
+def test_focus_phases_align_at_target():
+    """Focusing phases make all element contributions coherent."""
+    lam = wavelength(FREQ)
+    elements = np.stack(
+        [np.zeros(8), np.linspace(-0.2, 0.2, 8), np.zeros(8)], axis=1
+    )
+    src, tgt = vec3(-3, 0.4, 0), vec3(4, -0.7, 0)
+    phases = steering_phases_toward_point(elements, src, tgt, FREQ)
+    d1 = np.linalg.norm(elements - src, axis=1)
+    d2 = np.linalg.norm(elements - tgt, axis=1)
+    total_phase = phases - 2 * np.pi * (d1 + d2) / lam
+    # After the surface's shift, residual phases are all equal (mod 2π).
+    residual = np.exp(1j * total_phase)
+    assert np.allclose(residual, residual[0], atol=1e-9)
+
+
+def test_focus_configuration_shape_and_name():
+    elements = np.random.default_rng(0).normal(size=(12, 3))
+    cfg = focus_configuration(
+        elements, (3, 4), vec3(-1, 0, 0), vec3(1, 0, 0), FREQ, name="beam0"
+    )
+    assert cfg.shape == (3, 4)
+    assert cfg.name == "beam0"
+    assert cfg.frequency_hz == FREQ
+
+
+def test_beam_codebook_targets_grid():
+    targets = beam_codebook_targets((5, 5, 0), (2, 2, 0), 3, 2, z=1.2)
+    assert len(targets) == 6
+    xs = sorted({t[0] for t in targets})
+    assert xs[0] == pytest.approx(4.0)
+    assert xs[-1] == pytest.approx(6.0)
+    assert all(t[2] == 1.2 for t in targets)
+
+
+def test_beam_codebook_single_beam():
+    targets = beam_codebook_targets((1, 2, 0), (4, 4, 0), 1, 1, z=0.5)
+    assert len(targets) == 1
+    assert targets[0] == pytest.approx([1, 2, 0.5])
+
+
+def test_beam_codebook_rejects_zero():
+    with pytest.raises(ValueError):
+        beam_codebook_targets((0, 0, 0), (1, 1, 0), 0, 1)

@@ -1,0 +1,136 @@
+"""Environment queries: obstruction accounting, LoS, versioning."""
+
+import numpy as np
+import pytest
+
+from repro.core.units import ghz
+from repro.geometry import (
+    CONCRETE,
+    HUMAN,
+    WOOD,
+    Box,
+    Environment,
+    Room,
+    describe_obstructions,
+    two_room_apartment,
+    vec3,
+)
+
+
+@pytest.fixture()
+def env():
+    e = Environment(name="test", ceiling_height=3.0)
+    e.add_wall_2d((2, -2), (2, 2), CONCRETE, name="mid")
+    return e
+
+
+def test_obstruction_found(env):
+    mats = env.obstructions_on_segment(vec3(0, 0, 1), vec3(4, 0, 1))
+    assert [m.name for m in mats] == ["concrete"]
+
+
+def test_los_when_clear(env):
+    assert env.is_line_of_sight(vec3(0, 3, 1), vec3(4, 3, 1))
+    assert not env.is_line_of_sight(vec3(0, 0, 1), vec3(4, 0, 1))
+
+
+def test_penetration_loss_accumulates(env):
+    env.add_box(Box(vec3(3, -0.5, 0), vec3(3.5, 0.5, 2), WOOD))
+    loss = env.penetration_loss_db(vec3(0, 0, 1), vec3(4, 0, 1), ghz(28))
+    expected = CONCRETE.penetration_loss_db(ghz(28)) + WOOD.penetration_loss_db(
+        ghz(28)
+    )
+    assert loss == pytest.approx(expected)
+
+
+def test_penetration_amplitude_in_unit_range(env):
+    amp = env.penetration_amplitude(vec3(0, 0, 1), vec3(4, 0, 1), ghz(28))
+    assert 0.0 < amp < 1.0
+
+
+def test_version_bumps_on_mutation(env):
+    v0 = env.version
+    env.add_box(Box(vec3(0, 0, 0), vec3(1, 1, 1), WOOD))
+    assert env.version == v0 + 1
+    env.add_dynamic_box("person", Box(vec3(1, 1, 0), vec3(1.5, 1.5, 1.8), HUMAN))
+    assert env.version == v0 + 2
+    env.move_dynamic_box("person", (0.5, 0, 0))
+    assert env.version == v0 + 3
+    env.remove_dynamic_box("person")
+    assert env.version == v0 + 4
+
+
+def test_dynamic_box_move_and_remove(env):
+    env.add_dynamic_box("person", Box(vec3(1, -0.5, 0), vec3(1.5, 0.5, 1.8), HUMAN))
+    assert not env.is_line_of_sight(vec3(0, 0, 1), vec3(1.9, 0, 1))
+    env.move_dynamic_box("person", (0, 5, 0))
+    assert env.is_line_of_sight(vec3(0, 0, 1), vec3(1.9, 0, 1))
+    with pytest.raises(KeyError):
+        env.move_dynamic_box("ghost", (1, 0, 0))
+    with pytest.raises(KeyError):
+        env.remove_dynamic_box("ghost")
+
+
+def test_room_registry(env):
+    env.add_room(Room("a", 0, 2, 0, 2))
+    assert env.room("a").name == "a"
+    with pytest.raises(ValueError):
+        env.add_room(Room("a", 0, 1, 0, 1))
+    with pytest.raises(KeyError):
+        env.room("b")
+
+
+def test_reflective_walls_filter(env):
+    assert env.reflective_walls()
+    assert env.reflective_walls(min_reflectivity=0.9) == []
+
+
+def test_bounds(env):
+    lo, hi = env.bounds()
+    assert lo[0] <= 2 <= hi[0]
+    assert hi[2] >= 3.0
+
+
+def test_bounds_requires_walls():
+    with pytest.raises(ValueError):
+        Environment().bounds()
+
+
+def test_describe_obstructions(env):
+    assert "concrete" in describe_obstructions(env, vec3(0, 0, 1), vec3(4, 0, 1))
+    assert describe_obstructions(env, vec3(0, 3, 1), vec3(4, 3, 1)) == (
+        "line of sight"
+    )
+
+
+class TestApartment:
+    def test_rooms_defined(self):
+        env = two_room_apartment()
+        assert set(env.rooms) == {"living", "bedroom"}
+
+    def test_partition_blocks_mmwave(self):
+        env = two_room_apartment()
+        # Straight across the partition, away from the doorway.
+        loss = env.penetration_loss_db(vec3(4, 1, 1.5), vec3(6, 1, 1.5), ghz(28))
+        assert loss >= 40.0
+
+    def test_doorway_leaks(self):
+        env = two_room_apartment()
+        assert env.is_line_of_sight(vec3(4.5, 3.45, 1.5), vec3(5.5, 3.45, 1.5))
+
+    def test_furniture_present_by_default(self):
+        furnished = two_room_apartment()
+        names = {b.name for b in furnished.boxes}
+        assert {"sofa", "bed", "wardrobe", "bookshelf"} <= names
+
+    def test_unfurnished_layout(self):
+        from repro.geometry import ApartmentLayout
+
+        env = two_room_apartment(ApartmentLayout(furnished=False))
+        assert len(env.boxes) == 0
+
+    def test_bad_doorway_rejected(self):
+        from repro.geometry import ApartmentLayout
+
+        with pytest.raises(ValueError):
+            ApartmentLayout(door_lo=3.9, door_hi=3.0)

@@ -1,0 +1,63 @@
+"""Material loss curves."""
+
+import pytest
+
+from repro.core.units import ghz
+from repro.geometry import CONCRETE, DRYWALL, MATERIALS, Material, get_material
+
+
+def test_loss_increases_with_frequency():
+    for mat in MATERIALS.values():
+        assert mat.penetration_loss_db(ghz(60)) >= mat.penetration_loss_db(
+            ghz(2.4)
+        )
+
+
+def test_concrete_blocks_mmwave():
+    assert CONCRETE.penetration_loss_db(ghz(28)) >= 40.0
+
+
+def test_drywall_mild_at_sub6():
+    assert DRYWALL.penetration_loss_db(ghz(2.4)) <= 5.0
+
+
+def test_interpolation_between_anchors():
+    lo = CONCRETE.penetration_loss_db(ghz(5))
+    hi = CONCRETE.penetration_loss_db(ghz(28))
+    mid = CONCRETE.penetration_loss_db(ghz(12))
+    assert lo < mid < hi
+
+
+def test_clamps_outside_anchor_range():
+    assert CONCRETE.penetration_loss_db(ghz(0.1)) == pytest.approx(
+        CONCRETE.penetration_loss_db(ghz(2.4))
+    )
+    assert CONCRETE.penetration_loss_db(ghz(300)) == pytest.approx(
+        CONCRETE.penetration_loss_db(ghz(60))
+    )
+
+
+def test_amplitude_matches_loss():
+    amp = DRYWALL.penetration_amplitude(ghz(28))
+    loss = DRYWALL.penetration_loss_db(ghz(28))
+    assert amp == pytest.approx(10 ** (-loss / 20.0))
+
+
+def test_get_material_lookup_and_error():
+    assert get_material("concrete") is CONCRETE
+    with pytest.raises(KeyError):
+        get_material("adamantium")
+
+
+def test_material_validation():
+    with pytest.raises(ValueError):
+        Material(name="bad", loss_anchors=())
+    with pytest.raises(ValueError):
+        Material(name="bad", loss_anchors=((2e9, 3.0), (1e9, 4.0)))
+    with pytest.raises(ValueError):
+        Material(name="bad", loss_anchors=((1e9, 3.0),), reflectivity=2.0)
+
+
+def test_frequency_validation():
+    with pytest.raises(ValueError):
+        CONCRETE.penetration_loss_db(0.0)

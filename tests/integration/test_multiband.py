@@ -1,0 +1,83 @@
+"""Frequency-division multiplexing through the Scrolls driver."""
+
+import numpy as np
+import pytest
+
+from repro.channel import ChannelSimulator, ula_node
+from repro.core.units import ghz
+from repro.drivers import FrequencySelectiveDriver
+from repro.em import LinkBudget
+from repro.geometry import apartment_sites, two_room_apartment
+from repro.services import snr_map_db
+from repro.surfaces import CATALOG, SurfacePanel
+
+BANDS = [(ghz(2.3), ghz(2.5)), (ghz(4.9), ghz(5.1))]
+
+
+@pytest.fixture()
+def deployment():
+    env = two_room_apartment()
+    sites = apartment_sites()
+    panel = SurfacePanel(
+        "scrolls",
+        CATALOG["Scrolls"].spec,
+        24,
+        24,
+        sites.single_surface_center,
+        sites.single_surface_normal,
+    )
+    driver = FrequencySelectiveDriver(panel, bands_hz=BANDS)
+    budget = LinkBudget(tx_power_dbm=17.0, bandwidth_hz=40e6)
+    points = env.room("bedroom").grid(0.8, z=1.0)
+    return env, sites, panel, driver, budget, points
+
+
+def surface_gain_db(env, sites, panel, driver, budget, points, carrier):
+    """p90 per-point SNR gain the tuned surface adds at a carrier."""
+    ap = ula_node("ap", sites.ap_position, 2, carrier, (0, 0, 1), (1, 0.3, 0))
+    model = ChannelSimulator(env, carrier).build(ap, points, [panel])
+    baseline = snr_map_db(
+        model, {panel.panel_id: np.zeros(panel.num_elements)}, budget
+    )
+    x = driver.effective_configuration(carrier).coefficients().reshape(-1)
+    tuned = snr_map_db(model, {panel.panel_id: x}, budget)
+    return float(np.percentile(tuned - baseline, 90))
+
+
+def test_rows_help_their_band_only(deployment):
+    env, sites, panel, driver, budget, points = deployment
+    # All rows on the 5 GHz band.
+    driver.set_row_bands([1] * panel.rows)
+    gain_5 = surface_gain_db(
+        env, sites, panel, driver, budget, points, ghz(5.0)
+    )
+    gain_24 = surface_gain_db(
+        env, sites, panel, driver, budget, points, ghz(2.4)
+    )
+    assert gain_5 > gain_24 + 1.0
+    assert gain_5 > 1.0
+
+
+def test_reallocating_rows_moves_the_gain(deployment):
+    env, sites, panel, driver, budget, points = deployment
+    driver.allocate_rows({1: 1.0})  # all rows to 5 GHz
+    before = surface_gain_db(
+        env, sites, panel, driver, budget, points, ghz(5.0)
+    )
+    driver.allocate_rows({0: 1.0})  # hand everything to 2.4 GHz
+    after = surface_gain_db(
+        env, sites, panel, driver, budget, points, ghz(5.0)
+    )
+    assert after < before - 1.0
+
+
+def test_partial_allocation_intermediate(deployment):
+    env, sites, panel, driver, budget, points = deployment
+    gains = {}
+    for rows_5 in (0, panel.rows // 2, panel.rows):
+        driver.set_row_bands([1] * rows_5 + [0] * (panel.rows - rows_5))
+        gains[rows_5] = surface_gain_db(
+            env, sites, panel, driver, budget, points, ghz(5.0)
+        )
+    assert gains[0] < gains[panel.rows]
+    assert gains[0] <= gains[panel.rows // 2] + 0.5

@@ -1,0 +1,141 @@
+"""Propagation-environment virtualization (§5): tenant isolation."""
+
+import pytest
+
+from repro.core.errors import ServiceError
+from repro.core.units import ghz
+from repro.geometry import apartment_sites, two_room_apartment
+from repro.hwmgr import AccessPoint, ClientDevice, HardwareManager
+from repro.orchestrator import Adam, SurfaceOrchestrator, TaskState
+from repro.orchestrator.virtualization import Hypervisor, TenantPolicy
+from repro.surfaces import GENERIC_PROGRAMMABLE_28, SurfacePanel
+
+FREQ = ghz(28)
+
+
+@pytest.fixture()
+def hypervisor():
+    env = two_room_apartment()
+    sites = apartment_sites()
+    hw = HardwareManager()
+    hw.register_access_point(
+        AccessPoint("ap", sites.ap_position, 4, FREQ, boresight=(1, 0.3, 0))
+    )
+    hw.register_client(ClientDevice("phone", (6.5, 1.2, 1.0)))
+    hw.register_surface(
+        SurfacePanel(
+            "s1",
+            GENERIC_PROGRAMMABLE_28,
+            12,
+            12,
+            sites.single_surface_center,
+            sites.single_surface_normal,
+        )
+    )
+    orch = SurfaceOrchestrator(
+        env, hw, FREQ, optimizer=Adam(max_iterations=40), grid_spacing_m=1.0
+    )
+    return Hypervisor(orch)
+
+
+class TestTenantProvisioning:
+    def test_budgets_cannot_exceed_physical_axis(self, hypervisor):
+        hypervisor.create_tenant(TenantPolicy("isp-a", time_budget=0.6))
+        with pytest.raises(ServiceError):
+            hypervisor.create_tenant(TenantPolicy("isp-b", time_budget=0.5))
+        hypervisor.create_tenant(TenantPolicy("isp-b", time_budget=0.4))
+
+    def test_duplicate_names_rejected(self, hypervisor):
+        hypervisor.create_tenant(TenantPolicy("isp-a", time_budget=0.4))
+        with pytest.raises(ServiceError):
+            hypervisor.create_tenant(TenantPolicy("isp-a", time_budget=0.1))
+
+    def test_policy_validation(self):
+        with pytest.raises(ServiceError):
+            TenantPolicy("")
+        with pytest.raises(ServiceError):
+            TenantPolicy("x", time_budget=0.0)
+        with pytest.raises(ServiceError):
+            TenantPolicy("x", max_priority=-1)
+
+    def test_tenant_lookup(self, hypervisor):
+        hypervisor.create_tenant(TenantPolicy("isp-a", time_budget=0.5))
+        assert hypervisor.tenant("isp-a").policy.name == "isp-a"
+        with pytest.raises(ServiceError):
+            hypervisor.tenant("ghost")
+
+
+class TestPolicyEnforcement:
+    def test_room_scope(self, hypervisor):
+        tenant = hypervisor.create_tenant(
+            TenantPolicy("homeowner", allowed_rooms=("bedroom",), time_budget=0.5)
+        )
+        task = tenant.optimize_coverage("bedroom")
+        assert task.state is TaskState.READY
+        with pytest.raises(ServiceError):
+            tenant.optimize_coverage("living")
+
+    def test_priority_ceiling(self, hypervisor):
+        tenant = hypervisor.create_tenant(
+            TenantPolicy("guest", max_priority=3, time_budget=0.5)
+        )
+        task = tenant.enhance_link("phone", priority=9)
+        assert task.priority == 3
+
+    def test_time_budget_enforced(self, hypervisor):
+        tenant = hypervisor.create_tenant(
+            TenantPolicy("isp-a", time_budget=0.5)
+        )
+        tenant.optimize_coverage("bedroom", time_fraction=0.4)
+        assert tenant.remaining_time_budget() == pytest.approx(0.1)
+        with pytest.raises(ServiceError):
+            tenant.enhance_link("phone", time_fraction=0.2)
+        # A request inside the remaining budget is fine.
+        tenant.enhance_link("phone", time_fraction=0.1)
+
+    def test_budget_recovers_on_completion(self, hypervisor):
+        tenant = hypervisor.create_tenant(
+            TenantPolicy("isp-a", time_budget=0.5)
+        )
+        task = tenant.optimize_coverage("bedroom", time_fraction=0.5)
+        assert tenant.remaining_time_budget() == pytest.approx(0.0)
+        tenant.complete_task(task.task_id)
+        assert tenant.remaining_time_budget() == pytest.approx(0.5)
+
+
+class TestIsolation:
+    def test_cannot_cancel_other_tenants_tasks(self, hypervisor):
+        a = hypervisor.create_tenant(TenantPolicy("isp-a", time_budget=0.5))
+        b = hypervisor.create_tenant(TenantPolicy("isp-b", time_budget=0.5))
+        task = a.optimize_coverage("bedroom", time_fraction=0.3)
+        with pytest.raises(ServiceError):
+            b.complete_task(task.task_id)
+        assert hypervisor.owner_of(task.task_id) == "isp-a"
+
+    def test_task_listing_scoped(self, hypervisor):
+        a = hypervisor.create_tenant(TenantPolicy("isp-a", time_budget=0.5))
+        b = hypervisor.create_tenant(TenantPolicy("isp-b", time_budget=0.5))
+        ta = a.optimize_coverage("bedroom", time_fraction=0.3)
+        tb = b.enhance_link("phone", time_fraction=0.3)
+        assert [t.task_id for t in a.tasks()] == [ta.task_id]
+        assert [t.task_id for t in b.tasks()] == [tb.task_id]
+
+    def test_usage_report(self, hypervisor):
+        a = hypervisor.create_tenant(TenantPolicy("isp-a", time_budget=0.6))
+        a.optimize_coverage("bedroom", time_fraction=0.4)
+        report = hypervisor.usage_report()
+        assert report["isp-a"]["time_held"] == pytest.approx(0.4)
+        assert report["isp-a"]["active_tasks"] == 1.0
+
+
+class TestEndToEnd:
+    def test_two_tenants_served_by_one_optimization(self, hypervisor):
+        a = hypervisor.create_tenant(TenantPolicy("isp-a", time_budget=0.5))
+        b = hypervisor.create_tenant(TenantPolicy("isp-b", time_budget=0.5))
+        ta = a.optimize_coverage("bedroom", time_fraction=0.5)
+        tb = b.enhance_link("phone", time_fraction=0.5)
+        hypervisor.orchestrator.reoptimize()
+        assert ta.state is TaskState.RUNNING
+        assert tb.state is TaskState.RUNNING
+        assert "median_snr_db" in ta.metrics
+        assert "median_snr_db" in tb.metrics

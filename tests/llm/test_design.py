@@ -1,0 +1,73 @@
+"""Design-request parsing and recommendation."""
+
+import math
+
+import pytest
+
+from repro.core.errors import TranslationError
+from repro.core.units import ghz
+from repro.llm import parse_design_request, recommend_designs
+from repro.surfaces import SignalProperty
+
+
+class TestParsing:
+    def test_frequency_required(self):
+        with pytest.raises(TranslationError):
+            parse_design_request("a cheap surface please")
+        with pytest.raises(TranslationError):
+            parse_design_request("   ")
+
+    def test_frequency_units(self):
+        q = parse_design_request("surface for 2.4 GHz")
+        assert q.frequency_hz == pytest.approx(ghz(2.4))
+        q = parse_design_request("surface for 900 MHz")
+        assert q.frequency_hz == pytest.approx(900e6)
+
+    def test_reconfigurability_keywords(self):
+        assert parse_design_request(
+            "passive printed sheet for 60 GHz"
+        ).reconfigurable is False
+        assert parse_design_request(
+            "steerable surface for 24 GHz"
+        ).reconfigurable is True
+        assert parse_design_request("surface for 5 GHz").reconfigurable is None
+
+    def test_cost_bound(self):
+        q = parse_design_request(
+            "a 24 GHz surface under $3 per element"
+        )
+        assert q.max_cost_per_element_usd == pytest.approx(3.0)
+        q = parse_design_request("a 24 GHz surface")
+        assert math.isinf(q.max_cost_per_element_usd)
+
+    def test_property_keywords(self):
+        q = parse_design_request("amplitude on/off surface for 2.4 GHz")
+        assert SignalProperty.AMPLITUDE in q.properties
+        q = parse_design_request("polarization control at 2.4 GHz")
+        assert q.properties == (SignalProperty.POLARIZATION,)
+        # Default: phase.
+        q = parse_design_request("a surface for 5 GHz")
+        assert q.properties == (SignalProperty.PHASE,)
+
+
+class TestRecommendation:
+    def test_passive_mmwave(self):
+        designs = recommend_designs("passive surface for 60 GHz")
+        assert [s.design for s in designs] == ["AutoMS", "MilliMirror"]
+
+    def test_cost_bounded(self):
+        designs = recommend_designs(
+            "steerable phase surface at 24 GHz under $3 per element"
+        )
+        assert all(s.cost_per_element_usd <= 3.0 for s in designs)
+        assert all(s.reconfigurable for s in designs)
+
+    def test_uncovered_band_adapts(self):
+        designs = recommend_designs("programmable surface for 10 GHz")
+        assert len(designs) == 1
+        assert "@10GHz" in designs[0].design
+        assert designs[0].in_band(ghz(10))
+
+    def test_limit(self):
+        designs = recommend_designs("surface for 2.4 GHz", limit=2)
+        assert len(designs) <= 2

@@ -1,0 +1,135 @@
+"""Intent translation: prompts, parsing safety, Fig. 6 fidelity."""
+
+import pytest
+
+from repro.broker import ServiceCall
+from repro.core.errors import TranslationError
+from repro.llm import (
+    IntentTranslator,
+    MockLLM,
+    build_prompt,
+    parse_calls,
+)
+
+
+@pytest.fixture()
+def translator():
+    return IntentTranslator(MockLLM())
+
+
+class TestPrompt:
+    def test_prompt_contains_functions_and_input(self):
+        prompt = build_prompt("I want VR gaming")
+        assert "enhance_link" in prompt
+        assert "User Input: I want VR gaming" in prompt
+        assert "Context:" in prompt
+
+    def test_prompt_function_subset(self):
+        prompt = build_prompt("x", functions=["init_powering"])
+        assert "init_powering" in prompt
+        assert "enhance_link" not in prompt
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(TranslationError):
+            build_prompt("x", functions=["rm_rf"])
+
+
+class TestFig6Fidelity:
+    """The two verbatim examples from the paper's Figure 6."""
+
+    def test_vr_gaming(self, translator):
+        calls = translator.translate("I want to start VR gaming in this room.")
+        rendered = [c.render() for c in calls]
+        assert (
+            "enhance_link('VR_headset', snr=30.0, latency=10.0)" in rendered
+        )
+        assert (
+            "enable_sensing('room_id', type='tracking', duration=3600)"
+            in rendered
+        )
+        assert "optimize_coverage('room_id', median_snr=25)" in rendered
+
+    def test_meeting_while_charging(self, translator):
+        calls = translator.translate(
+            "I want to have an online meeting while charging my phone."
+        )
+        rendered = [c.render() for c in calls]
+        assert "enhance_link('laptop', snr=20.0, latency=50.0)" in rendered
+        assert "init_powering('phone', duration=3600)" in rendered
+
+    def test_explicit_device_overrides_hint(self, translator):
+        calls = translator.translate("online meeting on my phone")
+        assert calls[0].arguments["client_id"] == "phone"
+
+    def test_sensing_room_extraction(self, translator):
+        calls = translator.translate("please track motion in the bedroom")
+        assert calls[0].function == "enable_sensing"
+        assert calls[0].arguments["room_id"] == "bedroom"
+
+    def test_security_demand(self, translator):
+        calls = translator.translate(
+            "I need to send sensitive documents from my laptop"
+        )
+        assert calls[0].function == "protect_link"
+        assert calls[0].arguments["client_id"] == "laptop"
+
+    def test_empty_input_rejected(self, translator):
+        with pytest.raises(TranslationError):
+            translator.translate("   ")
+
+    def test_unrelated_input_yields_no_calls(self, translator):
+        assert translator.translate("what a nice day today") == []
+
+
+class TestParsingSafety:
+    def test_unknown_function_rejected(self):
+        with pytest.raises(TranslationError):
+            parse_calls("delete_all_files('now')")
+
+    def test_non_literal_arguments_rejected(self):
+        with pytest.raises(TranslationError):
+            parse_calls("enhance_link(__import__('os').getcwd())")
+
+    def test_kwargs_splat_rejected(self):
+        with pytest.raises(TranslationError):
+            parse_calls("enhance_link('phone', **{'snr': 1})")
+
+    def test_too_many_positional_rejected(self):
+        with pytest.raises(TranslationError):
+            parse_calls("enhance_link('phone', 30.0, 10.0)")
+
+    def test_prose_lines_skipped(self):
+        calls = parse_calls(
+            "Here is what I will do:\n"
+            "# boost the link\n"
+            "enhance_link('phone', snr=25.0)\n"
+            "Hope this helps!\n"
+        )
+        assert len(calls) == 1
+        assert calls[0].arguments == {"client_id": "phone", "snr": 25.0}
+
+    def test_signature_validation_via_servicecall(self):
+        with pytest.raises(TranslationError):
+            parse_calls("enhance_link('phone', bogus_arg=1)")
+        with pytest.raises(TranslationError):
+            parse_calls("enhance_link(snr=25.0)")  # missing client_id
+
+
+class TestServiceCall:
+    def test_render_positional_then_kwargs(self):
+        call = ServiceCall(
+            "enhance_link", {"client_id": "phone", "snr": 25.0}
+        )
+        assert call.render() == "enhance_link('phone', snr=25.0)"
+
+    def test_type_checks(self):
+        with pytest.raises(TranslationError):
+            ServiceCall("enhance_link", {"client_id": 42})
+        with pytest.raises(TranslationError):
+            ServiceCall("optimize_coverage", {"room_id": "x", "median_snr": "high"})
+        # ints accepted where floats expected
+        ServiceCall("optimize_coverage", {"room_id": "x", "median_snr": 25})
+
+    def test_unknown_function(self):
+        with pytest.raises(TranslationError):
+            ServiceCall("launch_rockets", {})

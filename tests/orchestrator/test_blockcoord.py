@@ -1,0 +1,110 @@
+"""Block-coordinate multi-surface optimization."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import OptimizationError
+from repro.core.units import ghz
+from repro.em import LinkBudget
+from repro.orchestrator import Adam, optimize_surfaces
+from repro.orchestrator.blockcoord import coefficients_from_phases
+from repro.services import connectivity
+
+FREQ = ghz(28)
+
+
+def builder(budget):
+    def build(form, amplitudes):
+        return connectivity.coverage_objective(
+            form, amplitudes=amplitudes, budget=budget
+        )
+
+    return build
+
+
+class TestCoefficients:
+    def test_coefficients_carry_panel_amplitudes(self, small_prog, rng):
+        phases = rng.uniform(0, 2 * np.pi, small_prog.num_elements)
+        coeffs = coefficients_from_phases(small_prog, phases)
+        assert np.allclose(np.abs(coeffs), 1.0)
+        assert np.allclose(np.angle(coeffs), np.angle(np.exp(1j * phases)))
+
+
+class TestOptimizeSurfaces:
+    def test_two_surface_joint_improves_on_flat(
+        self, simulator, ap, bedroom_points, small_passive, small_prog, budget
+    ):
+        model = simulator.build(
+            ap, bedroom_points, [small_passive, small_prog]
+        )
+        flat = {
+            p.panel_id: p.configuration.coefficients().reshape(-1)
+            for p in (small_passive, small_prog)
+        }
+        flat_snr = np.median(connectivity.snr_map_db(model, flat, budget))
+        results = optimize_surfaces(
+            model,
+            [small_passive, small_prog],
+            builder(budget),
+            optimizer=Adam(max_iterations=60),
+            rounds=2,
+        )
+        assert set(results) == {"passive", "prog"}
+        optimized = {
+            sid: coefficients_from_phases(
+                panel, results[sid].phases
+            )
+            for sid, panel in (
+                ("passive", small_passive),
+                ("prog", small_prog),
+            )
+        }
+        opt_snr = np.median(connectivity.snr_map_db(model, optimized, budget))
+        assert opt_snr > flat_snr
+
+    def test_projection_respects_hardware(
+        self, simulator, ap, bedroom_points, small_prog, budget
+    ):
+        model = simulator.build(ap, bedroom_points, [small_prog])
+        results = optimize_surfaces(
+            model,
+            [small_prog],
+            builder(budget),
+            optimizer=Adam(max_iterations=30),
+            rounds=1,
+            project=True,
+        )
+        phases = results["prog"].phases
+        levels = 2 ** small_prog.spec.phase_bits
+        assert len(np.unique(np.round(phases, 9))) <= levels
+
+    def test_warm_start_used(
+        self, simulator, ap, bedroom_points, small_prog, budget, rng
+    ):
+        model = simulator.build(ap, bedroom_points, [small_prog])
+        warm = rng.uniform(0, 2 * np.pi, small_prog.num_elements)
+        result = optimize_surfaces(
+            model,
+            [small_prog],
+            builder(budget),
+            optimizer=Adam(max_iterations=1, learning_rate=1e-12),
+            rounds=1,
+            initial_phases={"prog": warm},
+            project=False,
+        )["prog"]
+        # With a frozen optimizer the answer stays at the warm start.
+        assert np.allclose(
+            np.exp(1j * result.phases), np.exp(1j * warm), atol=1e-6
+        )
+
+    def test_validation(
+        self, simulator, ap, bedroom_points, small_prog, budget
+    ):
+        model = simulator.build(ap, bedroom_points, [small_prog])
+        with pytest.raises(OptimizationError):
+            optimize_surfaces(
+                model, [small_prog], builder(budget), rounds=0
+            )
+        other = simulator.build(ap, bedroom_points, [])
+        with pytest.raises(OptimizationError):
+            optimize_surfaces(other, [small_prog], builder(budget))

@@ -1,0 +1,138 @@
+"""Multiplexing strategies: TDM / FDM / SDM / configuration (joint)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SchedulingError
+from repro.core.units import ghz
+from repro.geometry import vec3
+from repro.orchestrator import MultiplexStrategy, propose_slices
+from repro.orchestrator.multiplex import (
+    frequency_division_slices,
+    joint_slices,
+    space_division_slices,
+    time_division_slices,
+)
+from repro.orchestrator.tasks import ServiceTask, ServiceType
+from repro.surfaces import GENERIC_PROGRAMMABLE_28, SurfacePanel
+
+
+@pytest.fixture()
+def panels():
+    return [
+        SurfacePanel(
+            f"s{i}",
+            GENERIC_PROGRAMMABLE_28,
+            4,
+            4,
+            vec3(i * 2.0, 0, 1.5),
+            vec3(0, -1, 0),
+        )
+        for i in range(2)
+    ]
+
+
+@pytest.fixture()
+def task():
+    return ServiceTask(ServiceType.COVERAGE, {})
+
+
+class TestTimeDivision:
+    def test_full_surface_fractional_time(self, task, panels):
+        slices = time_division_slices(task, panels, time_fraction=0.25)
+        assert len(slices) == 2
+        for s in slices:
+            assert s.num_elements == 16
+            assert s.time_fraction == 0.25
+            assert not s.shared_group
+
+    def test_two_quarter_tasks_fit(self, task, panels):
+        a = time_division_slices(task, panels, 0.5)[0]
+        b = time_division_slices(task, panels, 0.5)[0]
+        assert not a.conflicts_with(b)
+
+    def test_needs_panels(self, task):
+        with pytest.raises(SchedulingError):
+            time_division_slices(task, [], 0.5)
+
+
+class TestFrequencyDivision:
+    def test_sub_band_slices(self, task, panels):
+        band = (ghz(27.2), ghz(27.8))
+        slices = frequency_division_slices(task, panels, band)
+        assert all(s.band_hz == band for s in slices)
+
+    def test_disjoint_bands_coexist(self, task, panels):
+        a = frequency_division_slices(task, panels, (ghz(27.1), ghz(27.9)))[0]
+        b = frequency_division_slices(task, panels, (ghz(28.0), ghz(28.9)))[0]
+        assert not a.conflicts_with(b)
+
+    def test_band_outside_hardware_rejected(self, task, panels):
+        with pytest.raises(SchedulingError):
+            frequency_division_slices(task, panels, (ghz(2.0), ghz(3.0)))
+
+
+class TestSpaceDivision:
+    def test_nearest_elements_selected(self, task, panels):
+        target = panels[0].element_positions()[0]
+        slices = space_division_slices(
+            task, panels, target[None, :], fraction=0.25
+        )
+        mask = slices[0].element_mask
+        assert mask.sum() == 4
+        # The selected elements are the closest ones to the target.
+        dists = np.linalg.norm(
+            panels[0].element_positions() - target[None, :], axis=1
+        )
+        assert set(np.flatnonzero(mask)) == set(np.argsort(dists)[:4])
+
+    def test_disjoint_halves_coexist(self, task, panels):
+        elems = panels[0].element_positions()
+        a = space_division_slices(task, panels[:1], elems[0][None, :], 0.25)[0]
+        b = space_division_slices(task, panels[:1], elems[-1][None, :], 0.25)[0]
+        assert not a.space_overlaps(b)
+
+    def test_fraction_validation(self, task, panels):
+        with pytest.raises(SchedulingError):
+            space_division_slices(task, panels, np.zeros((1, 3)), fraction=0.0)
+
+
+class TestJoint:
+    def test_shared_group_set(self, task, panels):
+        slices = joint_slices(task, panels, group="main")
+        assert all(s.shared_group == "main" for s in slices)
+        assert not slices[0].conflicts_with(slices[1])
+
+    def test_group_required(self, task, panels):
+        with pytest.raises(SchedulingError):
+            joint_slices(task, panels, group="")
+
+
+class TestDispatch:
+    def test_propose_routes_each_strategy(self, task, panels):
+        assert propose_slices(
+            task, panels, MultiplexStrategy.TIME, time_fraction=0.5
+        )
+        assert propose_slices(
+            task,
+            panels,
+            MultiplexStrategy.FREQUENCY,
+            band_hz=(ghz(27.2), ghz(27.8)),
+        )
+        assert propose_slices(
+            task,
+            panels,
+            MultiplexStrategy.SPACE,
+            target_points=np.zeros((1, 3)),
+        )
+        assert propose_slices(task, panels, MultiplexStrategy.JOINT)
+
+    def test_missing_arguments_rejected(self, task, panels):
+        with pytest.raises(SchedulingError):
+            propose_slices(task, panels, MultiplexStrategy.FREQUENCY)
+        with pytest.raises(SchedulingError):
+            propose_slices(task, panels, MultiplexStrategy.SPACE)
+
+    def test_joint_defaults_group_to_service(self, task, panels):
+        slices = propose_slices(task, panels, MultiplexStrategy.JOINT)
+        assert slices[0].shared_group == "coverage"

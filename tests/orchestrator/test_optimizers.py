@@ -1,0 +1,135 @@
+"""Optimizer behaviors on analytic test objectives."""
+
+import numpy as np
+import pytest
+
+from repro.channel import LinearChannelForm
+from repro.orchestrator import (
+    Adam,
+    GradientDescent,
+    RandomSearch,
+    SimulatedAnnealing,
+    panel_projection,
+)
+from repro.orchestrator.objectives import CoverageObjective, Objective
+
+
+class Quadratic(Objective):
+    """Simple convex test loss: ||φ − target||²."""
+
+    def __init__(self, target):
+        self.target = np.asarray(target, dtype=float)
+        self.dim = self.target.size
+
+    def value_and_gradient(self, phases):
+        phases = np.asarray(phases, dtype=float).reshape(-1)
+        diff = phases - self.target
+        return float(diff @ diff), 2.0 * diff
+
+
+def focusing_objective(rng, e=12):
+    """Single-point coverage — global optimum is phase alignment."""
+    coeffs = 2e-4 * np.exp(1j * rng.uniform(0, 2 * np.pi, (1, 1, e)))
+    form = LinearChannelForm("s", coeffs, np.zeros((1, 1), dtype=complex))
+    return CoverageObjective(form)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(3)
+
+
+@pytest.mark.parametrize(
+    "optimizer",
+    [
+        GradientDescent(learning_rate=0.1, max_iterations=400),
+        GradientDescent(learning_rate=0.05, momentum=0.9, max_iterations=400),
+        Adam(learning_rate=0.2, max_iterations=400),
+    ],
+)
+def test_gradient_optimizers_solve_quadratic(optimizer, rng):
+    target = rng.normal(size=8)
+    result = optimizer.optimize(Quadratic(target), np.zeros(8))
+    assert result.loss < 1e-3
+    assert np.allclose(result.phases, target, atol=0.05)
+
+
+def test_history_monotone_for_gd_on_quadratic(rng):
+    result = GradientDescent(learning_rate=0.1, max_iterations=100).optimize(
+        Quadratic(rng.normal(size=4)), np.zeros(4)
+    )
+    diffs = np.diff(result.history)
+    assert np.all(diffs <= 1e-12)
+
+
+def test_convergence_flag(rng):
+    result = GradientDescent(
+        learning_rate=0.2, max_iterations=5000, tolerance=1e-10
+    ).optimize(Quadratic(rng.normal(size=4)), np.zeros(4))
+    assert result.converged
+    assert result.iterations < 5000
+
+
+@pytest.mark.parametrize(
+    "optimizer",
+    [
+        Adam(max_iterations=150),
+        RandomSearch(max_iterations=40, population=24, seed=1),
+        SimulatedAnnealing(steps=800, seed=1),
+    ],
+)
+def test_all_optimizers_improve_focusing(optimizer, rng):
+    objective = focusing_objective(rng)
+    x0 = rng.uniform(0, 2 * np.pi, objective.dim)
+    start = objective.value(x0)
+    result = optimizer.optimize(objective, x0)
+    assert result.loss < start
+
+
+def test_adam_near_global_on_focusing(rng):
+    objective = focusing_objective(rng)
+    x0 = rng.uniform(0, 2 * np.pi, objective.dim)
+    result = Adam(max_iterations=400, learning_rate=0.2).optimize(objective, x0)
+    # Global optimum: all contributions aligned.
+    ideal = objective.value(
+        -np.angle(objective.form.coeffs[0, 0])
+    )
+    assert result.loss == pytest.approx(ideal, rel=0.02)
+
+
+def test_projection_applied_to_result(rng):
+    from repro.geometry import vec3
+    from repro.surfaces import GENERIC_PROGRAMMABLE_28, SurfacePanel
+
+    panel = SurfacePanel(
+        "p", GENERIC_PROGRAMMABLE_28, 3, 4, vec3(0, 0, 1), vec3(0, -1, 0)
+    )
+    objective = Quadratic(rng.uniform(0, 2 * np.pi, 12))
+    result = Adam(max_iterations=50).optimize(
+        objective, np.zeros(12), projection=panel_projection(panel)
+    )
+    levels = 2 ** GENERIC_PROGRAMMABLE_28.phase_bits
+    assert len(np.unique(np.round(result.phases, 9))) <= levels
+
+
+def test_projected_each_step_gd(rng):
+    project = lambda p: np.clip(p, 0.0, 1.0)
+    result = GradientDescent(
+        learning_rate=0.3, max_iterations=50, project_each_step=True
+    ).optimize(Quadratic(np.full(4, 5.0)), np.zeros(4), projection=project)
+    assert np.allclose(result.phases, 1.0)
+
+
+def test_annealing_validation():
+    with pytest.raises(Exception):
+        SimulatedAnnealing(subset_fraction=0.0).optimize(
+            Quadratic(np.zeros(4)), np.zeros(4)
+        )
+
+
+def test_random_search_deterministic_with_seed(rng):
+    objective = Quadratic(np.ones(6))
+    a = RandomSearch(seed=42, max_iterations=10).optimize(objective, np.zeros(6))
+    b = RandomSearch(seed=42, max_iterations=10).optimize(objective, np.zeros(6))
+    assert np.allclose(a.phases, b.phases)
+    assert a.loss == b.loss

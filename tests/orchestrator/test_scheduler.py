@@ -1,0 +1,152 @@
+"""Scheduler: admission, preemption, idle reclaim, expiry."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import AdmissionError, SchedulingError
+from repro.core.units import ghz
+from repro.orchestrator import (
+    ResourceSlice,
+    Scheduler,
+    ServiceTask,
+    ServiceType,
+    TaskState,
+)
+
+BAND = (ghz(27), ghz(29))
+
+
+def full_slice(surface="s1", group="", time=1.0):
+    return ResourceSlice(
+        surface_id=surface,
+        element_mask=np.ones(16, dtype=bool),
+        band_hz=BAND,
+        time_fraction=time,
+        shared_group=group,
+    )
+
+
+def make_task(priority=5, service=ServiceType.COVERAGE, duration=None, t0=0.0):
+    return ServiceTask(
+        service, {}, priority=priority, duration_s=duration, created_at=t0
+    )
+
+
+@pytest.fixture()
+def sched():
+    return Scheduler()
+
+
+class TestAdmission:
+    def test_admit_ready(self, sched):
+        task = sched.admit(make_task(), [full_slice()])
+        assert task.state is TaskState.READY
+        assert len(sched.slices_of(task.task_id)) == 1
+
+    def test_conflicting_equal_priority_fails(self, sched):
+        sched.admit(make_task(priority=5), [full_slice()])
+        with pytest.raises(AdmissionError):
+            sched.admit(make_task(priority=5), [full_slice()])
+
+    def test_failed_task_marked(self, sched):
+        sched.admit(make_task(priority=5), [full_slice()])
+        loser = make_task(priority=5)
+        with pytest.raises(AdmissionError):
+            sched.admit(loser, [full_slice()])
+        assert loser.state is TaskState.FAILED
+        assert "no feasible slice" in loser.failure_reason
+
+    def test_time_division_coexists(self, sched):
+        sched.admit(make_task(), [full_slice(time=0.5)])
+        sched.admit(make_task(), [full_slice(time=0.5)])
+        assert len(sched.tasks(TaskState.READY)) == 2
+
+    def test_shared_group_coexists(self, sched):
+        sched.admit(make_task(), [full_slice(group="joint")])
+        sched.admit(make_task(), [full_slice(group="joint")])
+        groups = sched.shared_groups()
+        assert len(groups["joint"]) == 2
+
+
+class TestPreemption:
+    def test_higher_priority_preempts(self, sched):
+        low = sched.admit(make_task(priority=2), [full_slice()])
+        high = sched.admit(make_task(priority=8), [full_slice()])
+        assert high.state is TaskState.READY
+        assert low.state is TaskState.PREEMPTED
+        assert sched.preemption_count == 1
+
+    def test_equal_priority_does_not_preempt(self, sched):
+        sched.admit(make_task(priority=5), [full_slice()])
+        with pytest.raises(AdmissionError):
+            sched.admit(make_task(priority=5), [full_slice()])
+        assert sched.preemption_count == 0
+
+    def test_preemption_disabled(self, sched):
+        sched.admit(make_task(priority=2), [full_slice()])
+        with pytest.raises(AdmissionError):
+            sched.admit(
+                make_task(priority=9), [full_slice()], allow_preemption=False
+            )
+
+    def test_preempted_task_can_resume_later(self, sched):
+        low = sched.admit(make_task(priority=2), [full_slice()])
+        high = sched.admit(make_task(priority=8), [full_slice()])
+        sched.complete(high.task_id)
+        low.transition(TaskState.READY)
+        assert low.state is TaskState.READY
+
+
+class TestLifecycleOps:
+    def test_start_and_idle_releases_resources(self, sched):
+        task = sched.admit(make_task(), [full_slice()])
+        sched.start(task.task_id)
+        assert task.state is TaskState.RUNNING
+        sched.set_idle(task.task_id)
+        assert task.state is TaskState.IDLE
+        # Slice is free now.
+        other = sched.admit(make_task(), [full_slice()])
+        assert other.state is TaskState.READY
+
+    def test_resume_from_idle(self, sched):
+        task = sched.admit(make_task(), [full_slice()])
+        sched.start(task.task_id)
+        sched.set_idle(task.task_id)
+        sched.resume(task.task_id, [full_slice()])
+        assert task.state is TaskState.READY
+
+    def test_resume_requires_idle(self, sched):
+        task = sched.admit(make_task(), [full_slice()])
+        with pytest.raises(SchedulingError):
+            sched.resume(task.task_id, [full_slice()])
+
+    def test_complete_and_fail_release(self, sched):
+        a = sched.admit(make_task(), [full_slice("s1")])
+        b = sched.admit(make_task(), [full_slice("s2")])
+        sched.start(a.task_id)
+        sched.complete(a.task_id)
+        sched.fail(b.task_id, reason="hardware fault")
+        assert a.state is TaskState.COMPLETED
+        assert b.state is TaskState.FAILED
+        assert b.failure_reason == "hardware fault"
+        assert sched.allocator.tasks_with_allocations() == []
+
+    def test_reap_expired(self, sched):
+        short = sched.admit(make_task(duration=5.0), [full_slice("s1")])
+        forever = sched.admit(make_task(), [full_slice("s2")])
+        sched.start(short.task_id)
+        sched.start(forever.task_id)
+        finished = sched.reap_expired(now=6.0)
+        assert finished == [short.task_id]
+        assert short.state is TaskState.COMPLETED
+        assert forever.state is TaskState.RUNNING
+
+    def test_unknown_task(self, sched):
+        with pytest.raises(SchedulingError):
+            sched.task("ghost")
+
+    def test_tasks_sorted_by_priority(self, sched):
+        a = sched.admit(make_task(priority=1), [full_slice("s1")])
+        b = sched.admit(make_task(priority=9), [full_slice("s2")])
+        listed = sched.tasks()
+        assert listed[0] is b and listed[1] is a

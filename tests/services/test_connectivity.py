@@ -1,0 +1,71 @@
+"""Connectivity service helpers."""
+
+import numpy as np
+import pytest
+
+from repro.channel import LinearChannelForm
+from repro.em import LinkBudget
+from repro.services import (
+    CoverageReport,
+    coverage_objective,
+    link_objective,
+    required_snr_for_throughput,
+    rss_map_dbm,
+    snr_map_db,
+)
+
+
+@pytest.fixture()
+def form(rng):
+    coeffs = 1e-4 * (
+        rng.normal(size=(5, 2, 8)) + 1j * rng.normal(size=(5, 2, 8))
+    )
+    offset = 1e-5 * (rng.normal(size=(5, 2)) + 1j * rng.normal(size=(5, 2)))
+    return LinearChannelForm("s", coeffs, offset)
+
+
+def test_coverage_objective_dims(form):
+    obj = coverage_objective(form)
+    assert obj.dim == 8
+
+
+def test_link_objective_ignores_other_points(form, rng):
+    obj = link_objective(form, point_index=2)
+    phases = rng.uniform(0, 2 * np.pi, 8)
+    # Perturbing would change coverage everywhere, but the link
+    # objective's value must equal single-point capacity.
+    snrs = obj.snr_db(phases)
+    value = obj.value(phases)
+    budget = LinkBudget()
+    expected = -np.log2(1.0 + 10 ** (snrs[2] / 10.0))
+    assert value == pytest.approx(expected, rel=1e-6)
+
+
+def test_required_snr_monotone_in_rate():
+    budget = LinkBudget(bandwidth_hz=400e6)
+    low = required_snr_for_throughput(50e6, budget)
+    high = required_snr_for_throughput(800e6, budget)
+    assert high > low
+
+
+def test_coverage_report():
+    report = CoverageReport.from_snrs([10, 20, 30, 40], target_snr_db=25.0)
+    assert report.median_snr_db == pytest.approx(25.0)
+    assert report.min_snr_db == 10
+    assert report.max_snr_db == 40
+    assert report.fraction_above_target == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        CoverageReport.from_snrs([])
+
+
+def test_snr_and_rss_maps_consistent(simulator, ap, bedroom_points, single_prog, budget):
+    model = simulator.build(ap, bedroom_points, [single_prog])
+    configs = {"s1": single_prog.configuration.coefficients().reshape(-1)}
+    snrs = snr_map_db(model, configs, budget)
+    rss = rss_map_dbm(model, configs, budget)
+    assert snrs.shape == rss.shape == (bedroom_points.shape[0],)
+    # RSS - noise floor == SNR wherever the SNR floor isn't clamped.
+    unclamped = snrs > -39.9
+    assert np.allclose(
+        rss[unclamped] - budget.noise_floor_dbm, snrs[unclamped], atol=1e-6
+    )

@@ -1,0 +1,101 @@
+"""SurfaceSpec validation and behavior."""
+
+import math
+
+import pytest
+
+from repro.core import Granularity
+from repro.core.units import ghz
+from repro.surfaces import OperationMode, SignalProperty, SurfaceSpec
+
+
+def make_spec(**overrides):
+    base = dict(
+        design="test",
+        band_hz=(ghz(27), ghz(29)),
+        properties=frozenset([SignalProperty.PHASE]),
+        operation_mode=OperationMode.REFLECTIVE,
+        reconfigurable=True,
+    )
+    base.update(overrides)
+    return SurfaceSpec(**base)
+
+
+def test_center_frequency_geometric_mean():
+    spec = make_spec()
+    assert spec.center_frequency_hz == pytest.approx(
+        math.sqrt(ghz(27) * ghz(29))
+    )
+
+
+def test_element_pitch_half_wavelength():
+    spec = make_spec()
+    lam = 299_792_458.0 / spec.center_frequency_hz
+    assert spec.element_pitch_m == pytest.approx(0.5 * lam)
+
+
+def test_in_band():
+    spec = make_spec()
+    assert spec.in_band(ghz(28))
+    assert not spec.in_band(ghz(60))
+
+
+def test_efficiency_unity_in_band_rolls_off():
+    spec = make_spec()
+    assert spec.efficiency(ghz(28)) == pytest.approx(1.0)
+    half_octave = spec.efficiency(ghz(29) * 1.414)
+    octave = spec.efficiency(ghz(29) * 2.0)
+    assert 0.0 < half_octave < 1.0
+    assert octave == pytest.approx(0.0)
+
+
+def test_supports():
+    spec = make_spec()
+    assert spec.supports(SignalProperty.PHASE)
+    assert not spec.supports(SignalProperty.AMPLITUDE)
+
+
+def test_passive_requires_infinite_delay():
+    with pytest.raises(ValueError):
+        make_spec(reconfigurable=False, control_delay_s=1e-3)
+    spec = make_spec(reconfigurable=False, control_delay_s=math.inf)
+    assert spec.is_passive
+
+
+def test_through_loss_for_other_networks():
+    reflective = make_spec(out_of_band_loss_db=10.0)
+    assert reflective.through_loss_db(ghz(2.4)) == 10.0
+    # In-band transmissive hardware passes signal.
+    transmissive = make_spec(
+        operation_mode=OperationMode.TRANSMISSIVE, out_of_band_loss_db=10.0
+    )
+    assert transmissive.through_loss_db(ghz(28)) == pytest.approx(1.0)
+    assert transmissive.through_loss_db(ghz(2.4)) == 10.0
+
+
+def test_operation_mode_flags():
+    assert OperationMode.REFLECTIVE.reflects
+    assert not OperationMode.REFLECTIVE.transmits
+    assert OperationMode.TRANSFLECTIVE.reflects
+    assert OperationMode.TRANSFLECTIVE.transmits
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        make_spec(band_hz=(ghz(29), ghz(27)))
+    with pytest.raises(ValueError):
+        make_spec(properties=frozenset())
+    with pytest.raises(ValueError):
+        make_spec(phase_bits=0)
+    with pytest.raises(ValueError):
+        make_spec(cost_per_element_usd=-1.0)
+    with pytest.raises(ValueError):
+        make_spec(max_stored_configurations=0)
+
+
+def test_summary_row_format():
+    row = make_spec(granularity=Granularity.COLUMN).summary_row()
+    assert row[0] == "test"
+    assert "GHz" in row[1]
+    assert "Phase" in row[2]
+    assert "column" in row[3]

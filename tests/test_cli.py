@@ -1,0 +1,51 @@
+"""CLI smoke tests (fast subcommands only)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "SurfOS" in out
+    assert "AutoMS" in out
+
+
+def test_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "mmWall" in out and "LAIA" in out
+
+
+def test_fig6(capsys):
+    assert main(["fig6"]) == 0
+    out = capsys.readouterr().out
+    assert "VR gaming" in out
+    assert "matches expected: True" in out
+
+
+def test_translate(capsys):
+    assert main(["translate", "charge my phone please"]) == 0
+    out = capsys.readouterr().out
+    assert "init_powering('phone'" in out
+
+
+def test_translate_not_understood(capsys):
+    assert main(["translate", "what a lovely day"]) == 1
+
+
+def test_recommend(capsys):
+    assert main(["recommend", "passive surface for 60 GHz"]) == 0
+    out = capsys.readouterr().out
+    assert "AutoMS" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
