@@ -56,14 +56,17 @@ def run_reaction_scenario():
 def test_bench_runtime_reaction(benchmark):
     system, records = run_once(benchmark, run_reaction_scenario)
     print()
+    # Timings come from the telemetry event log, not the daemon's own
+    # bookkeeping: every reaction emits a ``daemon.reaction`` event.
+    reactions = system.telemetry.events("daemon.reaction")
     rows = [
         (
-            f"{r.detected_at:.2f}s",
-            f"{r.reaction_latency_s * 1e3:.2f} ms",
-            f"{r.median_snr_before_db:.1f}",
-            f"{r.median_snr_after_db:.1f}",
+            f"{e.attrs['detected_at']:.2f}s",
+            f"{e.attrs['reaction_latency_s'] * 1e3:.2f} ms",
+            f"{e.attrs['median_snr_before_db']:.1f}",
+            f"{e.attrs['median_snr_after_db']:.1f}",
         )
-        for r in records
+        for e in reactions
     ]
     print(
         render_table(
@@ -77,5 +80,10 @@ def test_bench_runtime_reaction(benchmark):
     # The walker must trigger detections and at least one reoptimize.
     assert system.daemon.monitor.anomalies
     assert records
+    # The telemetry log mirrors the daemon's reaction records.
+    assert len(reactions) == len(records)
+    assert system.telemetry.get_counter("daemon.reactions") == len(records)
     # Reaction latency is bounded by the control-plane settle time.
-    assert all(0.0 <= r.reaction_latency_s < 0.5 for r in records)
+    assert all(
+        0.0 <= e.attrs["reaction_latency_s"] < 0.5 for e in reactions
+    )

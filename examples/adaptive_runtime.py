@@ -69,12 +69,16 @@ def main() -> None:
             )
         print(line)
 
+    # Every reaction also landed in the telemetry event log, alongside
+    # the span timings for each reoptimize pass.
     anomalies = len(system.daemon.monitor.anomalies)
-    reactions = len(system.daemon.reactions)
+    reactions = system.telemetry.get_counter("daemon.reactions")
     print(
         f"\n{anomalies} degradations detected, {reactions} re-optimizations "
         "fired — the runtime kept the room served while the world moved."
     )
+    print()
+    print(system.telemetry.summary())
 
 
 if __name__ == "__main__":

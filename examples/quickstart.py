@@ -44,11 +44,14 @@ def main() -> None:
     link = system.orchestrator.enhance_link("phone", snr=25.0)
 
     # 4. One joint optimization serves both tasks with a single shared
-    #    configuration (configuration multiplexing).
-    system.reoptimize()
+    #    configuration (configuration multiplexing).  The result carries
+    #    per-phase timings from the built-in telemetry.
+    result = system.reoptimize()
 
     print(f"\ncoverage task:  {coverage.state.value}  metrics={coverage.metrics}")
     print(f"link task:      {link.state.value}  metrics={link.metrics}")
+    for phase, seconds in result.timing.items():
+        print(f"  {phase:>18}: {seconds * 1e3:8.2f} ms")
 
     # 5. The hardware manager shows what actually hit the hardware.
     for surface_id, config in system.hardware.snapshot().items():
@@ -56,6 +59,10 @@ def main() -> None:
             f"\nsurface {surface_id!r}: live configuration "
             f"{config.shape[0]}x{config.shape[1]} ({config.name})"
         )
+
+    # 6. The telemetry subsystem saw every layer do its work.
+    print()
+    print(system.telemetry.summary())
 
 
 if __name__ == "__main__":

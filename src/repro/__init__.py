@@ -15,24 +15,26 @@ Quickstart::
 
     env = two_room_apartment()
     sites = apartment_sites()
-    os = SurfOS(env, frequency_hz=ghz(28))
-    os.add_access_point(
+    surfos = SurfOS(env, frequency_hz=ghz(28))
+    surfos.add_access_point(
         AccessPoint("ap", sites.ap_position, 4, ghz(28), boresight=(1, 0.3, 0))
     )
-    os.add_surface(
+    surfos.add_surface(
         SurfacePanel("s1", GENERIC_PROGRAMMABLE_28, 16, 16,
                      sites.single_surface_center, sites.single_surface_normal)
     )
-    os.add_client(ClientDevice("phone", (6.5, 1.5, 1.0)))
-    os.boot()
-    tasks = os.handle_user_demand("I want to start VR gaming in this room.")
-    os.reoptimize()
+    surfos.add_client(ClientDevice("phone", (6.5, 1.5, 1.0)))
+    surfos.boot()
+    tasks = surfos.handle_user_demand("I want to start VR gaming in this room.")
+    surfos.reoptimize()
+    print(surfos.telemetry.summary())
 """
 
 from .core.configuration import Granularity, SurfaceConfiguration
 from .core.errors import SurfOSError
 from .core.kernel import SurfOS
 from .core.units import ghz, mhz
+from .telemetry import Telemetry
 
 __version__ = "0.1.0"
 
@@ -41,6 +43,7 @@ __all__ = [
     "SurfOS",
     "SurfOSError",
     "SurfaceConfiguration",
+    "Telemetry",
     "__version__",
     "ghz",
     "mhz",

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 from ..core.errors import ServiceError, TranslationError
 from ..llm.intent import dispatch_calls
 from ..orchestrator.tasks import ServiceTask, TaskState
+from ..telemetry import Telemetry
 from .calls import ServiceCall
 from .demands import ApplicationDemand
 from .profiles import demand_for
@@ -28,10 +29,17 @@ class ServedApplication:
     demand: ApplicationDemand
     calls: List[ServiceCall]
     tasks: List[ServiceTask]
+    stopped: bool = False
 
     @property
     def active(self) -> bool:
-        """Whether any of the application's tasks still runs."""
+        """Whether the application still holds running tasks.
+
+        An explicitly stopped application is inactive regardless of
+        its tasks' states, so its registry key can be reused.
+        """
+        if self.stopped:
+            return False
         return any(not t.is_terminal for t in self.tasks)
 
 
@@ -40,6 +48,9 @@ class ServiceBroker:
 
     def __init__(self, orchestrator):
         self.orchestrator = orchestrator
+        self.telemetry = (
+            getattr(orchestrator, "telemetry", None) or Telemetry()
+        )
         self._apps: Dict[str, ServedApplication] = {}
 
     # ------------------------------------------------------------------
@@ -47,7 +58,11 @@ class ServiceBroker:
     def register_application(
         self, demand: ApplicationDemand
     ) -> ServedApplication:
-        """Translate a demand and submit its service tasks."""
+        """Translate a demand and submit its service tasks.
+
+        A fully-inactive record under the same ``app@client`` key is
+        replaced; registering over a still-active one raises.
+        """
         key = f"{demand.app_name}@{demand.client_id}"
         if key in self._apps and self._apps[key].active:
             raise ServiceError(f"application {key!r} already served")
@@ -55,6 +70,7 @@ class ServiceBroker:
         tasks = dispatch_calls(calls, self.orchestrator)
         served = ServedApplication(demand=demand, calls=calls, tasks=tasks)
         self._apps[key] = served
+        self.telemetry.counter("broker.registrations")
         return served
 
     def register_profile(
@@ -66,7 +82,12 @@ class ServiceBroker:
         )
 
     def stop_application(self, app_name: str, client_id: str) -> None:
-        """Complete every task an application holds."""
+        """Complete every task an application holds.
+
+        The served record is marked inactive even when some (or all)
+        of its tasks already reached a terminal state, so the key is
+        always free for re-registration afterwards.
+        """
         key = f"{app_name}@{client_id}"
         served = self._apps.get(key)
         if served is None:
@@ -74,6 +95,8 @@ class ServiceBroker:
         for task in served.tasks:
             if not task.is_terminal:
                 self.orchestrator.complete_task(task.task_id)
+        served.stopped = True
+        self.telemetry.counter("broker.stops")
 
     def applications(self) -> List[ServedApplication]:
         """All registered applications."""
@@ -87,6 +110,7 @@ class ServiceBroker:
         Returns a report with the per-requirement verdicts the broker
         uses to decide re-optimization or escalation.
         """
+        self.telemetry.counter("broker.satisfaction_checks")
         report: Dict[str, object] = {
             "app": served.demand.app_name,
             "client": served.demand.client_id,
@@ -128,11 +152,14 @@ class ServiceBroker:
 
     def unsatisfied(self) -> List[ServedApplication]:
         """Applications whose link requirement is currently missed."""
-        missed = []
-        for served in self._apps.values():
-            if not served.active:
-                continue
-            report = self.satisfaction(served)
-            if report.get("link_satisfied") is False:
-                missed.append(served)
+        with self.telemetry.span("broker-satisfaction"):
+            missed = []
+            for served in self._apps.values():
+                if not served.active:
+                    continue
+                report = self.satisfaction(served)
+                if report.get("link_satisfied") is False:
+                    missed.append(served)
+        if missed:
+            self.telemetry.counter("broker.unsatisfied", len(missed))
         return missed

@@ -26,7 +26,9 @@ SERVICE_SIGNATURES: Dict[str, Tuple[Dict[str, type], Dict[str, type]]] = {
     ),
     "enable_sensing": (
         {"room_id": str},
-        {"type": str, "duration": float, "priority": int},
+        # ``type`` is the paper's Fig. 6 spelling, kept for LLM output
+        # compatibility; ``mode`` is the orchestrator API's name.
+        {"mode": str, "type": str, "duration": float, "priority": int},
     ),
     "init_powering": (
         {"client_id": str},

@@ -59,7 +59,7 @@ def translate_demand(
                 "enable_sensing",
                 {
                     "room_id": demand.room_id,
-                    "type": "tracking",
+                    "mode": "tracking",
                     "duration": 3600.0,
                     "priority": demand.priority,
                 },

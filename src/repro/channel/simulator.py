@@ -21,6 +21,7 @@ from ..core.errors import SimulationError
 from ..geometry.environment import Environment
 from ..surfaces.panel import SurfacePanel
 from ..surfaces.specs import OperationMode
+from ..telemetry import Telemetry
 from .links import (
     elements_to_elements,
     elements_to_points,
@@ -61,6 +62,8 @@ class ChannelSimulator:
             blocking hazard).
         max_cascade_distance_m: skip surface-pair interactions farther
             apart than this (their second-order term is negligible).
+        telemetry: where cache counters and per-leg trace spans go;
+            defaults to a private instance.
     """
 
     def __init__(
@@ -70,6 +73,7 @@ class ChannelSimulator:
         include_reflections: bool = True,
         include_panel_blockage: bool = True,
         max_cascade_distance_m: float = 30.0,
+        telemetry: Optional[Telemetry] = None,
     ):
         if frequency_hz <= 0:
             raise SimulationError("carrier frequency must be positive")
@@ -78,6 +82,7 @@ class ChannelSimulator:
         self.include_reflections = include_reflections
         self.include_panel_blockage = include_panel_blockage
         self.max_cascade_distance_m = max_cascade_distance_m
+        self.telemetry = telemetry or Telemetry()
         self._cache: Dict[str, ChannelModel] = {}
         self._cache_hits = 0
         self._cache_misses = 0
@@ -137,44 +142,59 @@ class ChannelSimulator:
         cached = self._cache.get(key)
         if cached is not None:
             self._cache_hits += 1
+            self.telemetry.counter("channel.cache_hits")
             return cached
         self._cache_misses += 1
+        self.telemetry.counter("channel.cache_misses")
 
         freq = self.frequency_hz
-        direct = node_to_points(
-            self.env,
-            ap,
-            points,
-            freq,
-            panel_obstacles=self._obstacles_excluding(panels, ()),
-            include_reflections=self.include_reflections,
-        )
-        ap_to_surface: Dict[str, np.ndarray] = {}
-        surface_to_points: Dict[str, np.ndarray] = {}
-        for panel in panels:
-            others = self._obstacles_excluding(panels, (panel,))
-            ap_to_surface[panel.panel_id] = node_to_elements(
-                self.env, ap, panel, freq, panel_obstacles=others
-            )
-            surface_to_points[panel.panel_id] = elements_to_points(
-                self.env, panel, points, freq, panel_obstacles=others
-            )
-        surface_to_surface: Dict[Tuple[str, str], np.ndarray] = {}
-        for source in panels:
-            for target in panels:
-                if source.panel_id == target.panel_id:
-                    continue
-                gap = float(np.linalg.norm(source.center - target.center))
-                if gap > self.max_cascade_distance_m:
-                    continue
-                if not self._panels_face_each_other(source, target):
-                    continue
-                others = self._obstacles_excluding(panels, (source, target))
-                surface_to_surface[(source.panel_id, target.panel_id)] = (
-                    elements_to_elements(
-                        self.env, source, target, freq, panel_obstacles=others
-                    )
+        with self.telemetry.span(
+            "channel-trace", points=int(points.shape[0]), panels=len(panels)
+        ):
+            with self.telemetry.span("direct"):
+                direct = node_to_points(
+                    self.env,
+                    ap,
+                    points,
+                    freq,
+                    panel_obstacles=self._obstacles_excluding(panels, ()),
+                    include_reflections=self.include_reflections,
                 )
+            ap_to_surface: Dict[str, np.ndarray] = {}
+            surface_to_points: Dict[str, np.ndarray] = {}
+            for panel in panels:
+                others = self._obstacles_excluding(panels, (panel,))
+                with self.telemetry.span("ap-to-surface", panel=panel.panel_id):
+                    ap_to_surface[panel.panel_id] = node_to_elements(
+                        self.env, ap, panel, freq, panel_obstacles=others
+                    )
+                with self.telemetry.span(
+                    "surface-to-points", panel=panel.panel_id
+                ):
+                    surface_to_points[panel.panel_id] = elements_to_points(
+                        self.env, panel, points, freq, panel_obstacles=others
+                    )
+            surface_to_surface: Dict[Tuple[str, str], np.ndarray] = {}
+            for source in panels:
+                for target in panels:
+                    if source.panel_id == target.panel_id:
+                        continue
+                    gap = float(np.linalg.norm(source.center - target.center))
+                    if gap > self.max_cascade_distance_m:
+                        continue
+                    if not self._panels_face_each_other(source, target):
+                        continue
+                    others = self._obstacles_excluding(panels, (source, target))
+                    with self.telemetry.span(
+                        "surface-to-surface",
+                        source=source.panel_id,
+                        target=target.panel_id,
+                    ):
+                        surface_to_surface[
+                            (source.panel_id, target.panel_id)
+                        ] = elements_to_elements(
+                            self.env, source, target, freq, panel_obstacles=others
+                        )
         model = ChannelModel(
             points=points,
             direct=direct,
@@ -217,6 +237,7 @@ class ChannelSimulator:
     def invalidate(self) -> None:
         """Drop all cached channel builds."""
         self._cache.clear()
+        self.telemetry.counter("channel.cache_invalidations")
 
 
 def live_configs(panels: Sequence[SurfacePanel]) -> Dict[str, np.ndarray]:

@@ -10,9 +10,14 @@ Usage::
     python -m repro.cli translate "I want to start VR gaming in this room."
     python -m repro.cli recommend "passive surface for 60 GHz"
     python -m repro.cli plan --room bedroom --target-snr 20
+    python -m repro.cli trace --jsonl /tmp/trace.jsonl
+    python -m repro.cli trace --report /tmp/trace.jsonl
     python -m repro.cli info
 
 Every experiment prints the same rendering its benchmark asserts on.
+``trace`` runs one orchestrated pass on the two-room apartment and
+prints the telemetry summary (optionally exporting the raw event log
+as JSON lines); ``trace --report`` renders a previously exported file.
 """
 
 from __future__ import annotations
@@ -132,6 +137,64 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0 if plans[0].meets_target else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .core.errors import SurfOSError
+    from .telemetry import load_jsonl, render_report
+
+    if args.report:
+        try:
+            print(render_report(load_jsonl(args.report)))
+        except SurfOSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        return 0
+
+    from . import SurfOS
+    from .core.units import ghz
+    from .geometry import apartment_sites, two_room_apartment
+    from .hwmgr import AccessPoint, ClientDevice
+    from .orchestrator import Adam
+    from .surfaces import GENERIC_PROGRAMMABLE_28, SurfacePanel
+
+    frequency = ghz(28)
+    sites = apartment_sites()
+    system = SurfOS(
+        two_room_apartment(),
+        frequency_hz=frequency,
+        optimizer=Adam(max_iterations=args.iterations),
+        grid_spacing_m=1.0,
+    )
+    system.add_access_point(
+        AccessPoint("ap", sites.ap_position, 4, frequency, boresight=(1, 0.3, 0))
+    )
+    system.add_surface(
+        SurfacePanel(
+            "s1",
+            GENERIC_PROGRAMMABLE_28,
+            16,
+            16,
+            sites.single_surface_center,
+            sites.single_surface_normal,
+        )
+    )
+    system.add_client(ClientDevice("phone", (6.5, 1.5, 1.0)))
+    system.boot()
+    system.orchestrator.optimize_coverage("bedroom")
+    system.orchestrator.enhance_link("phone", snr=25.0)
+    result = system.reoptimize(rounds=args.rounds)
+
+    print("Traced one reoptimize() on the two-room apartment scenario.")
+    print()
+    for phase, seconds in result.timing.items():
+        print(f"  {phase:>18}: {seconds * 1e3:8.2f} ms")
+    print()
+    print(system.telemetry.summary())
+    if args.jsonl:
+        system.telemetry.export_jsonl(args.jsonl)
+        print(f"\nevent log written to {args.jsonl}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -183,6 +246,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="allow passive designs too",
     )
     plan.set_defaults(fn=_cmd_plan)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one orchestrated pass and print its telemetry report",
+    )
+    trace.add_argument(
+        "--report",
+        metavar="FILE",
+        help="render a previously exported JSON-lines file instead of running",
+    )
+    trace.add_argument(
+        "--jsonl", metavar="FILE", help="export the event log as JSON lines"
+    )
+    trace.add_argument(
+        "--rounds", type=int, default=2, help="block-coordinate rounds"
+    )
+    trace.add_argument(
+        "--iterations", type=int, default=60, help="optimizer iteration budget"
+    )
+    trace.set_defaults(fn=_cmd_trace)
     return parser
 
 

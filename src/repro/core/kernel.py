@@ -24,6 +24,7 @@ from ..orchestrator.orchestrator import SurfaceOrchestrator
 from ..runtime.daemon import SurfOSDaemon
 from ..runtime.dynamics import EnvironmentDynamics
 from ..surfaces.panel import SurfacePanel
+from ..telemetry import Telemetry
 from .errors import SurfOSError
 
 
@@ -32,13 +33,18 @@ class SurfOS:
 
     Typical setup::
 
-        os = SurfOS(env, frequency_hz=ghz(28))
-        os.add_access_point(AccessPoint("ap", pos, 4, ghz(28)))
-        os.add_surface(panel)
-        os.add_client(ClientDevice("phone", pos))
-        os.boot()
-        task = os.orchestrator.optimize_coverage("bedroom")
-        os.orchestrator.reoptimize()
+        surfos = SurfOS(env, frequency_hz=ghz(28))
+        surfos.add_access_point(AccessPoint("ap", pos, 4, ghz(28)))
+        surfos.add_surface(panel)
+        surfos.add_client(ClientDevice("phone", pos))
+        surfos.boot()
+        task = surfos.orchestrator.optimize_coverage("bedroom")
+        surfos.orchestrator.reoptimize()
+        print(surfos.telemetry.summary())
+
+    One :class:`~repro.telemetry.Telemetry` instance is threaded
+    through every layer (hardware manager, channel simulator,
+    orchestrator, daemon, broker) and exposed as ``surfos.telemetry``.
     """
 
     def __init__(
@@ -48,10 +54,12 @@ class SurfOS:
         llm: Optional[LLMClient] = None,
         optimizer: Optional[Optimizer] = None,
         grid_spacing_m: float = 0.7,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.env = env
         self.frequency_hz = frequency_hz
-        self.hardware = HardwareManager()
+        self.telemetry = telemetry or Telemetry()
+        self.hardware = HardwareManager(telemetry=self.telemetry)
         self.llm = llm or MockLLM()
         self._optimizer = optimizer
         self._grid_spacing = grid_spacing_m
@@ -93,6 +101,7 @@ class SurfOS:
             self.frequency_hz,
             optimizer=self._optimizer,
             grid_spacing_m=self._grid_spacing,
+            telemetry=self.telemetry,
         )
         self.broker = ServiceBroker(self.orchestrator)
         self.translator = IntentTranslator(self.llm)

@@ -16,13 +16,14 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional
 
 from ..core.configuration import SurfaceConfiguration
 from ..core.errors import UnknownDeviceError
-from ..drivers.base import FeedbackReport, SurfaceDriver
+from ..drivers.base import FeedbackReport, PassiveDriver, SurfaceDriver
 from ..drivers.amplitude import AmplitudeDriver
 from ..drivers.frequency import FrequencySelectiveDriver
 from ..drivers.phase import PassivePhaseDriver, ProgrammablePhaseDriver
 from ..drivers.polarization import PolarizationDriver
 from ..surfaces.panel import SurfacePanel
 from ..surfaces.specs import SignalProperty, SurfaceSpec
+from ..telemetry import Telemetry
 from .devices import AccessPoint, ClientDevice, Sensor
 
 
@@ -49,9 +50,16 @@ def driver_for_panel(panel: SurfacePanel) -> SurfaceDriver:
 
 
 class HardwareManager:
-    """Registry + unified control for all hardware in one environment."""
+    """Registry + unified control for all hardware in one environment.
 
-    def __init__(self) -> None:
+    Args:
+        telemetry: where push/commit latency accounting goes; the
+            kernel passes its shared instance so the whole stack
+            reports into one place.
+    """
+
+    def __init__(self, telemetry: Optional[Telemetry] = None) -> None:
+        self.telemetry = telemetry or Telemetry()
         self._drivers: Dict[str, SurfaceDriver] = {}
         self._aps: Dict[str, AccessPoint] = {}
         self._clients: Dict[str, ClientDevice] = {}
@@ -178,13 +186,41 @@ class HardwareManager:
         activate: bool = True,
     ) -> float:
         """Queue a configuration write; returns the live time."""
-        return self.driver(surface_id).push_configuration(
+        ready_at = self.driver(surface_id).push_configuration(
             name, config, now=now, activate=activate
         )
+        self.telemetry.counter("hw.pushes")
+        self.telemetry.counter("hw.push_delay_total_s", ready_at - now)
+        self.telemetry.gauge("hw.last_push_delay_s", ready_at - now)
+        return ready_at
+
+    def fabricate(
+        self, surface_id: str, config: SurfaceConfiguration
+    ) -> SurfaceConfiguration:
+        """Permanently fix a passive surface's configuration.
+
+        The unified path for one-time-programmable hardware; raises
+        :class:`UnknownDeviceError` when the surface's driver is not
+        passive.
+        """
+        driver = self.driver(surface_id)
+        if not isinstance(driver, PassiveDriver):
+            raise UnknownDeviceError(
+                f"surface {surface_id!r} is reconfigurable; "
+                "use push_configuration() instead of fabricate()"
+            )
+        applied = driver.fabricate(config)
+        self.telemetry.counter("hw.fabrications")
+        return applied
 
     def commit_all(self, now: float) -> int:
         """Apply every in-flight write whose control delay elapsed."""
-        return sum(d.commit(now) for d in self._drivers.values())
+        with self.telemetry.span("hw-commit") as span:
+            applied = sum(d.commit(now) for d in self._drivers.values())
+            span.set(applied=applied)
+        if applied:
+            self.telemetry.counter("hw.commits_applied", applied)
+        return applied
 
     def pending_total(self) -> int:
         """Writes still in flight across all drivers."""

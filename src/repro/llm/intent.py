@@ -159,10 +159,12 @@ def dispatch_calls(
                 )
             )
         elif call.function == "enable_sensing":
+            # Fig. 6 completions spell the kwarg ``type=`` (kept verbatim
+            # from the paper); the orchestrator API takes ``mode=``.
             tasks.append(
                 orchestrator.enable_sensing(
                     args["room_id"],
-                    type=args.get("type", "tracking"),
+                    mode=args.get("mode", args.get("type", "tracking")),
                     duration=args.get("duration", 3600.0),
                     priority=int(args.get("priority", 5)),
                 )

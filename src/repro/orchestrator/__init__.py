@@ -20,7 +20,7 @@ from .optimizers import (
     SimulatedAnnealing,
     panel_projection,
 )
-from .orchestrator import SurfaceOrchestrator
+from .orchestrator import ReoptimizationResult, SurfaceOrchestrator
 from .scheduler import Scheduler
 from .virtualization import Hypervisor, TenantPolicy, VirtualOrchestrator
 from .slices import ResourceSlice, SliceAllocator
@@ -41,6 +41,7 @@ __all__ = [
     "Optimizer",
     "PoweringObjective",
     "RandomSearch",
+    "ReoptimizationResult",
     "ResourceSlice",
     "Scheduler",
     "ServiceTask",

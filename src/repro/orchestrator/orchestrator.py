@@ -14,8 +14,18 @@ joint optimization"), pushing results through the hardware manager.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -29,6 +39,8 @@ from ..geometry.environment import Environment
 from ..geometry.vec import as_vec3
 from ..hwmgr.manager import HardwareManager
 from ..services import connectivity, powering, security, sensing
+from ..surfaces.panel import SurfacePanel
+from ..telemetry import Telemetry
 from .blockcoord import coefficients_from_phases, optimize_surfaces
 from .multiplex import MultiplexStrategy, propose_slices
 from .objectives import JointObjective, Objective
@@ -49,6 +61,74 @@ class _TaskContext:
     point_offset: int = 0                   # filled per reoptimize pass
 
 
+class ReoptimizationResult(Mapping):
+    """Typed outcome of one :meth:`SurfaceOrchestrator.reoptimize` call.
+
+    A :class:`Mapping` over the *live* configurations per surface (the
+    joint group's when one exists, otherwise the first time-division
+    slot's) for drop-in compatibility with the old dict return — plus
+    the full picture as attributes:
+
+    Attributes:
+        joint: joint-group configurations per surface id (may be empty).
+        slots: per-task slot configurations, ``task_id → surface_id →
+            configuration`` (time-division tasks).
+        timing: wall-clock seconds per reoptimization phase, read from
+            the telemetry spans (``channel_build_s``, ``optimize_s``,
+            ``push_s``, ``metrics_s``, ``total_s``); empty when
+            telemetry is disabled.
+        objective_evaluations: per-task count of objective evaluations
+            spent on it across all panels and rounds.
+        pushed: whether configurations were queued to hardware.
+        settle_s: control-delay settle time paid by the push (0 when
+            nothing was pushed).
+    """
+
+    def __init__(
+        self,
+        joint: Dict[str, SurfaceConfiguration],
+        slots: Dict[str, Dict[str, SurfaceConfiguration]],
+        timing: Optional[Dict[str, float]] = None,
+        objective_evaluations: Optional[Dict[str, int]] = None,
+        pushed: bool = False,
+        settle_s: float = 0.0,
+    ):
+        self.joint = dict(joint)
+        self.slots = {t: dict(entry) for t, entry in slots.items()}
+        self.timing = dict(timing or {})
+        self.objective_evaluations = dict(objective_evaluations or {})
+        self.pushed = pushed
+        self.settle_s = settle_s
+
+    @property
+    def live(self) -> Dict[str, SurfaceConfiguration]:
+        """The configurations actually serving after this pass."""
+        if self.joint:
+            return self.joint
+        if self.slots:
+            return next(iter(self.slots.values()))
+        return {}
+
+    # Mapping duck-compat with the old ``Dict[str, SurfaceConfiguration]``
+    # return value: iteration, lookup, and membership hit ``live``.
+
+    def __getitem__(self, surface_id: str) -> SurfaceConfiguration:
+        return self.live[surface_id]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.live)
+
+    def __len__(self) -> int:
+        return len(self.live)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ReoptimizationResult(joint={sorted(self.joint)}, "
+            f"slots={sorted(self.slots)}, pushed={self.pushed}, "
+            f"settle_s={self.settle_s:g})"
+        )
+
+
 class SurfaceOrchestrator:
     """Central control plane over one radio environment."""
 
@@ -62,11 +142,21 @@ class SurfaceOrchestrator:
         grid_spacing_m: float = 0.7,
         sensing_angles: int = 61,
         rng: Optional[np.random.Generator] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.env = env
         self.hardware = hardware
         self.frequency_hz = frequency_hz
-        self.simulator = ChannelSimulator(env, frequency_hz)
+        self.clock_now = 0.0
+        self.telemetry = (
+            telemetry
+            or getattr(hardware, "telemetry", None)
+            or Telemetry()
+        )
+        self.telemetry.bind_sim_clock(lambda: self.clock_now)
+        self.simulator = ChannelSimulator(
+            env, frequency_hz, telemetry=self.telemetry
+        )
         self.scheduler = Scheduler()
         self.optimizer = optimizer or Adam(max_iterations=120)
         self.grid_spacing_m = grid_spacing_m
@@ -79,7 +169,6 @@ class SurfaceOrchestrator:
                 f"need exactly one AP or an explicit ap_id; have {len(aps)}"
             )
         self.ap = hardware.access_point(ap_id) if ap_id else aps[0]
-        self.clock_now = 0.0
 
     # ------------------------------------------------------------------
     # helpers
@@ -173,16 +262,32 @@ class SurfaceOrchestrator:
     def enable_sensing(
         self,
         room_id: str,
-        type: str = "tracking",
+        mode: Optional[str] = None,
         duration: Optional[float] = 3600.0,
         priority: int = 5,
         strategy: MultiplexStrategy = MultiplexStrategy.JOINT,
         time_fraction: Optional[float] = None,
+        type: Optional[str] = None,
     ) -> ServiceTask:
-        """Enable AoA-based localization/tracking in a room."""
+        """Enable AoA-based localization/tracking in a room.
+
+        ``mode`` selects the sensing flavour (``"tracking"`` by
+        default).  The former ``type=`` spelling, which shadowed the
+        builtin, still works but emits a :class:`DeprecationWarning`.
+        """
+        if type is not None:
+            warnings.warn(
+                "enable_sensing(type=...) is deprecated; use mode=...",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if mode is None:
+                mode = type
+        if mode is None:
+            mode = "tracking"
         task = ServiceTask(
             service=ServiceType.SENSING,
-            goal={"room": room_id, "type": type},
+            goal={"room": room_id, "mode": mode},
             priority=priority,
             duration_s=duration,
             created_at=self.clock_now,
@@ -341,12 +446,14 @@ class SurfaceOrchestrator:
         contexts: Sequence[_TaskContext],
         optimizable: Sequence[SurfacePanel],
         rounds: int,
+        eval_counts: Optional[Dict[str, int]] = None,
     ) -> Dict[str, np.ndarray]:
         """Block-coordinate search for one group of co-served tasks.
 
         Returns the optimized flat phase vector per optimizable surface.
         Each surface gets its own objective builder because sensing
-        predictions are per-surface.
+        predictions are per-surface.  ``eval_counts`` accumulates
+        objective evaluations per task id for the telemetry summary.
         """
         total_weight = sum(c.weight for c in contexts) or 1.0
         by_id = {p.panel_id: p for p in self.hardware.panels()}
@@ -365,22 +472,41 @@ class SurfaceOrchestrator:
 
         from .optimizers import panel_projection
 
-        for _ in range(rounds):
+        for round_index in range(rounds):
             for panel in optimizable:
                 sid = panel.panel_id
-                form = model.linear_form(sid, coeffs())
-                amplitudes = panel.configuration.amplitudes.reshape(-1)
-                parts: List[Tuple[Objective, float]] = []
-                for ctx in contexts:
-                    objective = self._task_objective(
-                        ctx, form, amplitudes, sid, model
+                with self.telemetry.span(
+                    "optimize-panel",
+                    panel=sid,
+                    round=round_index,
+                    tasks=len(contexts),
+                ) as span:
+                    form = model.linear_form(sid, coeffs())
+                    amplitudes = panel.configuration.amplitudes.reshape(-1)
+                    parts: List[Tuple[Objective, float]] = []
+                    for ctx in contexts:
+                        objective = self._task_objective(
+                            ctx, form, amplitudes, sid, model
+                        )
+                        parts.append((objective, ctx.weight / total_weight))
+                    joint = (
+                        parts[0][0] if len(parts) == 1 else JointObjective(parts)
                     )
-                    parts.append((objective, ctx.weight / total_weight))
-                joint = parts[0][0] if len(parts) == 1 else JointObjective(parts)
-                result = self.optimizer.optimize(
-                    joint, phases[sid], projection=panel_projection(panel)
+                    result = self.optimizer.optimize(
+                        joint, phases[sid], projection=panel_projection(panel)
+                    )
+                    phases[sid] = result.phases
+                    span.set(iterations=result.iterations, loss=result.loss)
+                self.telemetry.counter(
+                    "orchestrator.objective_evaluations",
+                    result.iterations * len(contexts),
                 )
-                phases[sid] = result.phases
+                if eval_counts is not None:
+                    for ctx in contexts:
+                        task_id = ctx.task.task_id
+                        eval_counts[task_id] = (
+                            eval_counts.get(task_id, 0) + result.iterations
+                        )
         return phases
 
     def _phases_to_config(
@@ -398,7 +524,7 @@ class SurfaceOrchestrator:
         now: Optional[float] = None,
         rounds: int = 2,
         push: bool = True,
-    ) -> Dict[str, SurfaceConfiguration]:
+    ) -> ReoptimizationResult:
         """Optimize all surfaces for every active task.
 
         Tasks holding configuration-multiplexed (shared-group) slices
@@ -406,8 +532,13 @@ class SurfaceOrchestrator:
         time-division slices each get their own configuration, stored
         as a codebook entry named ``task-<id>`` and cycled at data-plane
         speed by :meth:`activate_task_slot` — the §3.2 time-division
-        multiplexing.  Returns the joint configurations per surface
-        (the live ones when a joint group exists).
+        multiplexing.
+
+        Returns a :class:`ReoptimizationResult`: a mapping over the
+        live configurations per surface (joint ones when a joint group
+        exists, else the first slot's) carrying the full joint/slot
+        breakdown, a per-phase timing summary from the telemetry spans,
+        and per-task objective-evaluation counts.
 
         With ``push`` the configurations are queued through the hardware
         manager; passive surfaces are fabricated on first optimization
@@ -418,62 +549,94 @@ class SurfaceOrchestrator:
         contexts = self.active_contexts()
         if not contexts:
             raise ServiceError("no active tasks to optimize for")
-        panels = self.hardware.panels()
-        offset = 0
-        point_blocks = []
-        for ctx in contexts:
-            ctx.point_offset = offset
-            offset += ctx.points.shape[0]
-            point_blocks.append(ctx.points)
-        all_points = np.concatenate(point_blocks, axis=0)
-        model = self.simulator.build(self.ap.node(), all_points, panels)
+        timing: Dict[str, float] = {}
+        eval_counts: Dict[str, int] = {}
+        settle = 0.0
+        with self.telemetry.span("reoptimize", tasks=len(contexts)) as root:
+            panels = self.hardware.panels()
+            offset = 0
+            point_blocks = []
+            for ctx in contexts:
+                ctx.point_offset = offset
+                offset += ctx.points.shape[0]
+                point_blocks.append(ctx.points)
+            all_points = np.concatenate(point_blocks, axis=0)
+            with self.telemetry.span(
+                "channel-build", points=int(all_points.shape[0])
+            ) as span:
+                model = self.simulator.build(self.ap.node(), all_points, panels)
+            timing["channel_build_s"] = span.wall_duration_s
 
-        optimizable = self._optimizable_panels()
-        if not optimizable:
-            raise ServiceError("every surface is passive and already fabricated")
-
-        joint_contexts = [c for c in contexts if self._is_joint(c)]
-        slotted_contexts = [c for c in contexts if not self._is_joint(c)]
-
-        new_configs: Dict[str, SurfaceConfiguration] = {}
-        slot_configs: Dict[str, Dict[str, SurfaceConfiguration]] = {}
-
-        if joint_contexts:
-            phases = self._optimize_group(
-                model, joint_contexts, optimizable, rounds
-            )
-            for panel in optimizable:
-                new_configs[panel.panel_id] = self._phases_to_config(
-                    panel,
-                    phases[panel.panel_id],
-                    f"orchestrated@{self.clock_now:.3f}",
+            optimizable = self._optimizable_panels()
+            if not optimizable:
+                raise ServiceError(
+                    "every surface is passive and already fabricated"
                 )
 
-        for ctx in slotted_contexts:
-            phases = self._optimize_group(model, [ctx], optimizable, rounds)
-            entry = {}
-            for panel in optimizable:
-                entry[panel.panel_id] = self._phases_to_config(
-                    panel,
-                    phases[panel.panel_id],
-                    f"task-{ctx.task.task_id}",
-                )
-            slot_configs[ctx.task.task_id] = entry
+            joint_contexts = [c for c in contexts if self._is_joint(c)]
+            slotted_contexts = [c for c in contexts if not self._is_joint(c)]
 
-        if push:
-            self._push_configurations(
-                optimizable, new_configs, slot_configs, bool(joint_contexts)
-            )
+            new_configs: Dict[str, SurfaceConfiguration] = {}
+            slot_configs: Dict[str, Dict[str, SurfaceConfiguration]] = {}
 
-        for ctx in contexts:
-            if ctx.task.state is TaskState.READY:
-                self.scheduler.start(ctx.task.task_id)
-        self._record_metrics(model, contexts, slot_configs)
-        if not new_configs and slot_configs:
-            # No joint group: report the first slot's configurations.
-            first = next(iter(slot_configs.values()))
-            return first
-        return new_configs
+            with self.telemetry.span(
+                "optimize",
+                joint_tasks=len(joint_contexts),
+                slot_tasks=len(slotted_contexts),
+            ) as span:
+                if joint_contexts:
+                    phases = self._optimize_group(
+                        model, joint_contexts, optimizable, rounds, eval_counts
+                    )
+                    for panel in optimizable:
+                        new_configs[panel.panel_id] = self._phases_to_config(
+                            panel,
+                            phases[panel.panel_id],
+                            f"orchestrated@{self.clock_now:.3f}",
+                        )
+
+                for ctx in slotted_contexts:
+                    phases = self._optimize_group(
+                        model, [ctx], optimizable, rounds, eval_counts
+                    )
+                    entry = {}
+                    for panel in optimizable:
+                        entry[panel.panel_id] = self._phases_to_config(
+                            panel,
+                            phases[panel.panel_id],
+                            f"task-{ctx.task.task_id}",
+                        )
+                    slot_configs[ctx.task.task_id] = entry
+            timing["optimize_s"] = span.wall_duration_s
+
+            if push:
+                with self.telemetry.span("push") as span:
+                    settle = self._push_configurations(
+                        optimizable,
+                        new_configs,
+                        slot_configs,
+                        bool(joint_contexts),
+                    )
+                timing["push_s"] = span.wall_duration_s
+
+            for ctx in contexts:
+                if ctx.task.state is TaskState.READY:
+                    self.scheduler.start(ctx.task.task_id)
+            with self.telemetry.span("metrics") as span:
+                self._record_metrics(model, contexts, slot_configs)
+            timing["metrics_s"] = span.wall_duration_s
+        timing["total_s"] = root.wall_duration_s
+        if not self.telemetry.enabled:
+            timing = {}
+        self.telemetry.counter("orchestrator.reoptimizations")
+        return ReoptimizationResult(
+            joint=new_configs,
+            slots=slot_configs,
+            timing=timing,
+            objective_evaluations=eval_counts,
+            pushed=push,
+            settle_s=settle,
+        )
 
     def _push_configurations(
         self,
@@ -481,7 +644,11 @@ class SurfaceOrchestrator:
         joint_configs: Dict[str, SurfaceConfiguration],
         slot_configs: Dict[str, Dict[str, SurfaceConfiguration]],
         have_joint: bool,
-    ) -> None:
+    ) -> float:
+        """Queue all configurations through the hardware manager.
+
+        Returns the control-delay settle time paid before commit.
+        """
         for panel in optimizable:
             sid = panel.panel_id
             driver = self.hardware.driver(sid)
@@ -492,19 +659,23 @@ class SurfaceOrchestrator:
                 if config is None and slot_configs:
                     config = next(iter(slot_configs.values()))[sid]
                 if config is not None:
-                    driver.fabricate(config)
+                    self.hardware.fabricate(sid, config)
                 continue
             if sid in joint_configs:
-                driver.push_configuration(
-                    "orchestrated", joint_configs[sid], now=self.clock_now
+                self.hardware.push_configuration(
+                    sid,
+                    joint_configs[sid],
+                    now=self.clock_now,
+                    name="orchestrated",
                 )
             for slot_index, (task_id, entry) in enumerate(
                 slot_configs.items()
             ):
-                driver.push_configuration(
-                    f"task-{task_id}",
+                self.hardware.push_configuration(
+                    sid,
                     entry[sid],
                     now=self.clock_now,
+                    name=f"task-{task_id}",
                     # Without a joint config the first slot goes live.
                     activate=(not have_joint and slot_index == 0),
                 )
@@ -515,7 +686,9 @@ class SurfaceOrchestrator:
         ]
         settle = max(delays) if delays else 0.0
         self.clock_now += settle
+        self.telemetry.gauge("hw.settle_s", settle)
         self.hardware.commit_all(self.clock_now)
+        return settle
 
     # ------------------------------------------------------------------
     # time-division multiplexing (data plane)

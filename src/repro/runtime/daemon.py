@@ -4,7 +4,8 @@ A library configures surfaces once at "compile time"; a runtime watches
 the environment and reconfigures.  The daemon subscribes to dynamics
 events, samples coverage through the monitor, and re-optimizes the
 active tasks when degradation crosses a threshold — recording reaction
-latency (detection → configurations live) for the runtime benchmarks.
+latency (detection → configurations live) as ``daemon.reaction``
+telemetry events the runtime benchmarks read their timings from.
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ import numpy as np
 from ..core.errors import ServiceError
 from ..services.connectivity import snr_map_db
 from ..services.monitoring import ChannelMonitor
+from ..telemetry import Telemetry
 from .clock import SimClock
 from .dynamics import EnvironmentDynamics
 from .events import (
@@ -57,6 +59,7 @@ class SurfOSDaemon:
         observe_room: Optional[str] = None,
     ):
         self.orchestrator = orchestrator
+        self.telemetry = getattr(orchestrator, "telemetry", None) or Telemetry()
         self.clock = clock or SimClock()
         self.bus = dynamics.bus if dynamics else EventBus()
         self.dynamics = dynamics
@@ -98,14 +101,18 @@ class SurfOSDaemon:
 
     def observe(self) -> np.ndarray:
         """Sample current coverage and feed the monitor."""
-        model = self.orchestrator.simulator.build(
-            self.orchestrator.ap.node(),
-            self._points(),
-            self.orchestrator.hardware.panels(),
-        )
-        configs = self.orchestrator._live_coefficients()
-        snrs = snr_map_db(model, configs, self.orchestrator.budget)
-        anomalies = self.monitor.observe(self.clock.now, snrs)
+        with self.telemetry.span("daemon-observe"):
+            model = self.orchestrator.simulator.build(
+                self.orchestrator.ap.node(),
+                self._points(),
+                self.orchestrator.hardware.panels(),
+            )
+            configs = self.orchestrator._live_coefficients()
+            snrs = snr_map_db(model, configs, self.orchestrator.budget)
+            anomalies = self.monitor.observe(self.clock.now, snrs)
+        self.telemetry.counter("daemon.observations")
+        if anomalies:
+            self.telemetry.counter("daemon.anomalies", len(anomalies))
         for anomaly in anomalies:
             self.bus.publish(
                 ChannelDegraded(
@@ -148,6 +155,16 @@ class SurfOSDaemon:
             median_snr_after_db=float(np.median(snrs_after)),
         )
         self.reactions.append(record)
+        self.telemetry.counter("daemon.reactions")
+        self.telemetry.event(
+            "daemon.reaction",
+            trigger=record.trigger,
+            detected_at=record.detected_at,
+            completed_at=record.completed_at,
+            reaction_latency_s=record.reaction_latency_s,
+            median_snr_before_db=record.median_snr_before_db,
+            median_snr_after_db=record.median_snr_after_db,
+        )
         return record
 
     def run(self, steps: int, dt: float = 0.5) -> List[ReactionRecord]:

@@ -1,0 +1,31 @@
+"""repro.telemetry — tracing and metrics for the SurfOS control plane.
+
+Public API (stable):
+
+* :class:`Telemetry` — ``span()``, ``event()``, ``counter()``,
+  ``gauge()``, ``snapshot()``, ``export_jsonl()``, ``summary()``.
+* :class:`TelemetrySnapshot`, :class:`SpanStats`,
+  :class:`TelemetryEvent` — the read-side data model.
+* :func:`load_jsonl` / :func:`render_report` — offline report path.
+"""
+
+from .core import (
+    NULL_SPAN,
+    Span,
+    SpanStats,
+    Telemetry,
+    TelemetryEvent,
+    TelemetrySnapshot,
+)
+from .report import load_jsonl, render_report
+
+__all__ = [
+    "NULL_SPAN",
+    "Span",
+    "SpanStats",
+    "Telemetry",
+    "TelemetryEvent",
+    "TelemetrySnapshot",
+    "load_jsonl",
+    "render_report",
+]

@@ -1,0 +1,140 @@
+"""Offline telemetry reports: read a JSON-lines export, render tables.
+
+The CLI's ``trace --report`` path uses this to turn a file produced by
+:meth:`~repro.telemetry.Telemetry.export_jsonl` back into the same
+summary tables a live snapshot renders — plus a chronological listing
+of point events (daemon reactions and friends).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.tables import render_table
+from ..core.errors import SurfOSError
+from .core import SpanStats
+
+
+def load_jsonl(path: str) -> List[Dict[str, object]]:
+    """Parse a telemetry JSON-lines file into record dicts."""
+    records: List[Dict[str, object]] = []
+    try:
+        fh = open(path, "r", encoding="utf-8")
+    except OSError as exc:
+        raise SurfOSError(f"cannot read telemetry export: {exc}") from None
+    with fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SurfOSError(
+                    f"{path}:{lineno}: not valid telemetry JSON ({exc})"
+                ) from None
+            if not isinstance(record, dict) or "kind" not in record:
+                raise SurfOSError(
+                    f"{path}:{lineno}: not a telemetry record (missing 'kind')"
+                )
+            records.append(record)
+    if not records:
+        raise SurfOSError(f"{path}: empty telemetry export")
+    return records
+
+
+def _aggregate_spans(
+    records: List[Dict[str, object]],
+) -> Tuple[Dict[str, SpanStats], Optional[Dict[str, object]]]:
+    """Span aggregates by path, preferring the trailing snapshot record."""
+    snapshot = None
+    for record in records:
+        if record["kind"] == "snapshot":
+            snapshot = record
+    spans: Dict[str, SpanStats] = {}
+    if snapshot is not None and isinstance(snapshot.get("spans"), dict):
+        for path, stats in snapshot["spans"].items():
+            spans[path] = SpanStats(
+                count=int(stats.get("count", 0)),
+                wall_total_s=float(stats.get("wall_total_s", 0.0)),
+                wall_min_s=float(stats.get("wall_min_s", 0.0)),
+                wall_max_s=float(stats.get("wall_max_s", 0.0)),
+                sim_total_s=float(stats.get("sim_total_s", 0.0)),
+            )
+        return spans, snapshot
+    # No snapshot line: rebuild aggregates from the raw span events.
+    for record in records:
+        if record["kind"] != "span":
+            continue
+        path = str(record["path"])
+        stats = spans.setdefault(path, SpanStats())
+        stats.add(
+            float(record.get("wall_duration_s", 0.0)),
+            record.get("sim_duration_s"),
+        )
+    return spans, snapshot
+
+
+def render_report(records: List[Dict[str, object]]) -> str:
+    """Render a full human-readable report from exported records."""
+    spans, snapshot = _aggregate_spans(records)
+    blocks: List[str] = []
+    if spans:
+        rows = [
+            (
+                path,
+                stats.count,
+                f"{stats.wall_total_s * 1e3:.2f}",
+                f"{stats.wall_mean_s * 1e3:.2f}",
+                f"{stats.wall_max_s * 1e3:.2f}",
+                f"{stats.sim_total_s:.4g}",
+            )
+            for path, stats in sorted(spans.items())
+        ]
+        blocks.append(
+            render_table(
+                ("span", "count", "wall total ms", "mean ms", "max ms", "sim s"),
+                rows,
+                title="Telemetry report: spans",
+            )
+        )
+    counters = (snapshot or {}).get("counters") or {}
+    if counters:
+        rows = [(name, f"{value:g}") for name, value in sorted(counters.items())]
+        blocks.append(
+            render_table(
+                ("counter", "value"), rows, title="Telemetry report: counters"
+            )
+        )
+    gauges = (snapshot or {}).get("gauges") or {}
+    if gauges:
+        rows = [(name, f"{value:g}") for name, value in sorted(gauges.items())]
+        blocks.append(
+            render_table(("gauge", "value"), rows, title="Telemetry report: gauges")
+        )
+    points = [r for r in records if r["kind"] == "event"]
+    if points:
+        rows = []
+        for record in points:
+            attrs = record.get("attrs") or {}
+            rendered = ", ".join(f"{k}={v}" for k, v in attrs.items())
+            sim = record.get("sim_start_s")
+            rows.append(
+                (
+                    f"{record.get('wall_start_s', 0.0):.3f}",
+                    "-" if sim is None else f"{sim:.3f}",
+                    record["name"],
+                    rendered or "-",
+                )
+            )
+        blocks.append(
+            render_table(
+                ("wall s", "sim s", "event", "attributes"),
+                rows,
+                title="Telemetry report: events",
+            )
+        )
+    if not blocks:
+        return "(no telemetry records)"
+    return "\n\n".join(blocks)

@@ -95,6 +95,39 @@ def test_cache_invalidated_by_environment_change(
     assert simulator.cache_stats[1] == 2
 
 
+def test_cache_missed_after_panel_move(simulator, ap, bedroom_points, single_prog):
+    simulator.build(ap, bedroom_points, [single_prog])
+    single_prog.center = single_prog.center + np.array([0.0, 0.3, 0.0])
+    simulator.build(ap, bedroom_points, [single_prog])
+    hits, misses = simulator.cache_stats
+    assert hits == 0 and misses == 2
+
+
+def test_invalidate_resets_cache(simulator, ap, bedroom_points, single_prog):
+    simulator.build(ap, bedroom_points, [single_prog])
+    simulator.build(ap, bedroom_points, [single_prog])
+    assert simulator.cache_stats == (1, 1)
+    simulator.invalidate()
+    # The next identical build must re-trace from scratch.
+    simulator.build(ap, bedroom_points, [single_prog])
+    assert simulator.cache_stats == (1, 2)
+    assert simulator.telemetry.get_counter("channel.cache_invalidations") == 1
+
+
+def test_cache_stats_mirrored_in_telemetry(
+    simulator, ap, bedroom_points, single_prog
+):
+    simulator.build(ap, bedroom_points, [single_prog])
+    simulator.build(ap, bedroom_points, [single_prog])
+    hits, misses = simulator.cache_stats
+    assert simulator.telemetry.get_counter("channel.cache_hits") == hits == 1
+    assert simulator.telemetry.get_counter("channel.cache_misses") == misses == 1
+    # A miss traces the channel; spans record where the time went.
+    spans = simulator.telemetry.snapshot().spans
+    assert spans["channel-trace"].count == 1
+    assert spans["channel-trace/direct"].wall_total_s > 0.0
+
+
 def test_human_blockage_reduces_snr(env, ap, budget, sites):
     panel = SurfacePanel(
         "s1",

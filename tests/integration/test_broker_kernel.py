@@ -96,6 +96,26 @@ class TestBroker:
         with pytest.raises(ServiceError):
             system.broker.stop_application("ghost_app", "phone")
 
+    def test_stop_with_terminal_tasks_still_deactivates(self, system):
+        # Regression: when every task already completed (e.g. it
+        # expired), stop_application must still mark the record
+        # inactive rather than leaving it stuck active forever.
+        served = system.serve_application("video_streaming", "phone", "bedroom")
+        for task in served.tasks:
+            system.orchestrator.complete_task(task.task_id)
+        assert all(t.is_terminal for t in served.tasks)
+        system.broker.stop_application("video_streaming", "phone")
+        assert not served.active
+
+    def test_reregistration_after_stop(self, system):
+        first = system.serve_application("video_streaming", "phone", "bedroom")
+        system.broker.stop_application("video_streaming", "phone")
+        second = system.serve_application("video_streaming", "phone", "bedroom")
+        assert second is not first
+        assert second.active
+        assert second in system.broker.applications()
+        assert first not in system.broker.applications()
+
     def test_unsatisfied_detection(self, system):
         # Demand an absurd throughput: link requirement cannot be met.
         served = system.serve_application(

@@ -41,6 +41,23 @@ def test_recommend(capsys):
     assert "AutoMS" in out
 
 
+def test_trace_runs_and_report_round_trips(tmp_path, capsys):
+    jsonl = str(tmp_path / "trace.jsonl")
+    assert (
+        main(["trace", "--iterations", "5", "--rounds", "1", "--jsonl", jsonl])
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "Telemetry: spans" in out
+    assert "reoptimize/channel-build" in out
+    assert "total_s" in out
+
+    assert main(["trace", "--report", jsonl]) == 0
+    out = capsys.readouterr().out
+    assert "Telemetry report: spans" in out
+    assert "reoptimize/push" in out
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
