@@ -6,7 +6,8 @@ from .links import (
     node_to_elements,
     node_to_points,
 )
-from .model import ChannelModel, LinearChannelForm
+from .geomkernels import CompiledGeometry, PanelStack, compiled_geometry
+from .model import ChannelModel, LinearChannelForm, LinearFormCache
 from .nodes import RadioNode, single_antenna_node, ula_node
 from .simulator import ChannelSimulator, live_configs
 from .wideband import (
@@ -26,12 +27,16 @@ from .tracer import (
 __all__ = [
     "ChannelModel",
     "ChannelSimulator",
+    "CompiledGeometry",
     "LinearChannelForm",
+    "LinearFormCache",
     "PanelObstacle",
+    "PanelStack",
     "RadioNode",
     "ReflectionPath",
     "WidebandResponse",
     "band_report",
+    "compiled_geometry",
     "elements_to_elements",
     "elements_to_points",
     "live_configs",

@@ -1,0 +1,563 @@
+"""Precompiled, fully vectorized geometry kernels for the ray model.
+
+The tracer's queries all reduce to "which of these ``n`` segments cross
+which of these obstacles".  The per-obstacle formulation loops over
+walls and boxes in Python, paying hundreds of small numpy dispatches
+per channel build; a build traces hundreds of thousands of segments, so
+that loop is the dominant metasurface-control cost (the workload
+characterized by Saeed et al.).
+
+:class:`CompiledGeometry` stacks every wall and box of an
+:class:`~repro.geometry.environment.Environment` into contiguous arrays
+*once* per :attr:`Environment.version`, after which
+
+* :meth:`CompiledGeometry.segment_loss_db` is a single broadcast pass
+  over ``(n_segments × n_obstacles)``, accumulating per-obstacle losses
+  with one matrix product, and
+* :meth:`CompiledGeometry.reflection_legs` runs the image method for
+  *all* source/target pairs against one wall at once.
+
+:class:`PanelStack` does the same stacking for the per-call panel
+obstacle lists (which vary with the excluded panel, so they cannot be
+compiled against the environment).
+
+All kernels follow the reference per-obstacle formulas operation by
+operation, so results agree with the loop implementations to float64
+rounding (the golden tests in ``tests/channel/test_geomkernels.py``
+assert 1e-9 agreement on randomized environments).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+from weakref import WeakKeyDictionary
+
+import numpy as np
+
+from ..geometry.environment import Environment
+from ..geometry.shapes import Wall
+
+_EPS = 1e-9
+
+#: Target temporary size (elements) for one kernel tile.  Row chunks
+#: are sized so each ``(rows, n_obstacles)`` float64 intermediate stays
+#: around 256 KB — resident in L2 — instead of multi-MB arrays that
+#: stream through DRAM on every elementwise pass.
+_CHUNK_CELLS = 32768
+
+
+def _chunk_rows(n: int, count: int) -> int:
+    return min(n, max(256, _CHUNK_CELLS // max(1, count)))
+
+
+def _as_segments(a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    a = np.atleast_2d(np.asarray(a, dtype=float))
+    b = np.atleast_2d(np.asarray(b, dtype=float))
+    if a.shape != b.shape:
+        raise ValueError(f"endpoint arrays differ: {a.shape} vs {b.shape}")
+    return a, b
+
+
+class _TileScratch:
+    """Reusable work arrays for one obstacle family's kernel tiles.
+
+    Every elementwise pass writes into these via ``out=`` instead of
+    allocating: tile-sized (≥128 KB) temporaries would otherwise hit
+    glibc's mmap threshold on every numpy op, paying page faults on
+    each pass.  One pool per :class:`CompiledGeometry`, sized for the
+    largest tile, sliced down with ``[:rows]`` for the tail tile.
+    """
+
+    __slots__ = ("rows", "f", "b", "lhs")
+
+    def __init__(self, rows: int, cols: int) -> None:
+        self.rows = rows
+        self.f = [np.empty((rows, cols)) for _ in range(5)]
+        self.b = [np.empty((rows, cols), dtype=bool) for _ in range(3)]
+        self.lhs = np.empty((rows, 3))
+
+
+class PanelStack:
+    """Surface panels acting as thin obstacles, stacked for broadcasting.
+
+    Built per call from a ``Sequence[PanelObstacle]`` (the set varies
+    with which panel a leg terminates on); holds ``(P, …)`` arrays so a
+    crossing test over ``n`` segments is one ``(n, P)`` pass.
+    """
+
+    __slots__ = (
+        "count",
+        "normals",
+        "centers",
+        "axes_u",
+        "axes_v",
+        "half_w",
+        "half_h",
+        "_obstacles",
+        "_losses",
+    )
+
+    def __init__(self, panel_obstacles: Sequence) -> None:
+        self._obstacles = tuple(panel_obstacles)
+        self.count = len(self._obstacles)
+        self._losses: Dict[float, np.ndarray] = {}
+        if not self.count:
+            return
+        panels = [o.panel for o in self._obstacles]
+        self.normals = np.stack([p.normal for p in panels])
+        self.centers = np.stack([p.center for p in panels])
+        axes = [p.plane_axes() for p in panels]
+        self.axes_u = np.stack([u for u, _ in axes])
+        self.axes_v = np.stack([v for _, v in axes])
+        self.half_w = np.array([p.width_m / 2.0 for p in panels])
+        self.half_h = np.array([p.height_m / 2.0 for p in panels])
+
+    def losses_db(self, frequency_hz: float) -> np.ndarray:
+        """Per-panel through-loss vector ``(P,)`` at a carrier."""
+        losses = self._losses.get(frequency_hz)
+        if losses is None:
+            losses = np.array(
+                [o.loss_db(frequency_hz) for o in self._obstacles]
+            )
+            self._losses[frequency_hz] = losses
+        return losses
+
+    def crossing_matrix(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Which segments cross which panels, shape ``(n, P)``."""
+        a, b = _as_segments(a, b)
+        if not self.count:
+            return np.zeros((a.shape[0], 0), dtype=bool)
+        rel_a = a[:, None, :] - self.centers[None, :, :]  # (n, P, 3)
+        rel_b = b[:, None, :] - self.centers[None, :, :]
+        da = np.einsum("npk,pk->np", rel_a, self.normals)
+        db = np.einsum("npk,pk->np", rel_b, self.normals)
+        crosses_plane = (da * db) < -_EPS
+        denom = np.where(np.abs(da - db) < _EPS, 1.0, da - db)
+        t = da / denom
+        hit_rel = rel_a + t[:, :, None] * (b - a)[:, None, :]
+        return (
+            crosses_plane
+            & (
+                np.abs(np.einsum("npk,pk->np", hit_rel, self.axes_u))
+                <= self.half_w[None, :] + _EPS
+            )
+            & (
+                np.abs(np.einsum("npk,pk->np", hit_rel, self.axes_v))
+                <= self.half_h[None, :] + _EPS
+            )
+        )
+
+
+class CompiledGeometry:
+    """An environment's walls and boxes as contiguous kernel arrays.
+
+    Compiled once per :attr:`Environment.version` via
+    :func:`compiled_geometry`; all methods are pure reads, so one
+    instance serves every concurrent query against that version.
+    """
+
+    def __init__(self, env: Environment) -> None:
+        self.version = env.version
+        self.walls: Tuple[Wall, ...] = env.walls
+        boxes = env.boxes
+        self.num_walls = len(self.walls)
+        self.num_boxes = len(boxes)
+        self._wall_index = {id(w): i for i, w in enumerate(self.walls)}
+        self._wall_materials = tuple(w.material for w in self.walls)
+        self._box_materials = tuple(b.material for b in boxes)
+        self._wall_losses: Dict[float, np.ndarray] = {}
+        self._box_losses: Dict[float, np.ndarray] = {}
+        self._wall_scratch: Optional[_TileScratch] = None
+        self._box_scratch: Optional[_TileScratch] = None
+        if self.num_walls:
+            self.wall_p = np.stack([w.start[:2] for w in self.walls])  # (W, 2)
+            self.wall_s = (
+                np.stack([w.end[:2] for w in self.walls]) - self.wall_p
+            )
+            self.wall_zmin = np.array([w.z_min for w in self.walls])
+            self.wall_zmax = np.array([w.z_max for w in self.walls])
+            # The segment/wall cross-product numerators are bilinear in
+            # the endpoint coordinates, so they factor into fixed (3, W)
+            # right-hand matrices applied to per-segment (n, 3) stacks.
+            s0, s1 = self.wall_s[:, 0], self.wall_s[:, 1]
+            p0, p1 = self.wall_p[:, 0], self.wall_p[:, 1]
+            self._wall_mt = np.ascontiguousarray(
+                np.stack([s1, s0, p0 * s1 - p1 * s0])
+            )
+            self._wall_mu = np.ascontiguousarray(
+                np.stack([p0, p1, np.ones(self.num_walls)])
+            )
+        if self.num_boxes:
+            self.box_lo = np.stack([b.lo for b in boxes])  # (B, 3)
+            self.box_hi = np.stack([b.hi for b in boxes])
+
+    # ------------------------------------------------------------------
+    # loss vectors
+    # ------------------------------------------------------------------
+
+    def wall_losses_db(self, frequency_hz: float) -> np.ndarray:
+        """Per-wall penetration loss ``(W,)`` at a carrier (cached)."""
+        losses = self._wall_losses.get(frequency_hz)
+        if losses is None:
+            losses = np.array(
+                [m.penetration_loss_db(frequency_hz) for m in self._wall_materials]
+            )
+            self._wall_losses[frequency_hz] = losses
+        return losses
+
+    def box_losses_db(self, frequency_hz: float) -> np.ndarray:
+        """Per-box penetration loss ``(B,)`` at a carrier (cached)."""
+        losses = self._box_losses.get(frequency_hz)
+        if losses is None:
+            losses = np.array(
+                [m.penetration_loss_db(frequency_hz) for m in self._box_materials]
+            )
+            self._box_losses[frequency_hz] = losses
+        return losses
+
+    def wall_indices(self, walls: Sequence[Wall]) -> np.ndarray:
+        """Compiled indices of the given wall objects (identity match)."""
+        return np.array(
+            [
+                self._wall_index[id(w)]
+                for w in walls
+                if id(w) in self._wall_index
+            ],
+            dtype=int,
+        )
+
+    # ------------------------------------------------------------------
+    # crossing kernels
+    # ------------------------------------------------------------------
+
+    def wall_crossing_matrix(
+        self, a: np.ndarray, b: np.ndarray
+    ) -> np.ndarray:
+        """Which segments ``a[i]→b[i]`` cross which walls, ``(n, W)``.
+
+        The 2-D segment/segment cross products are bilinear in the
+        segment and wall endpoint coordinates, so the ``(n, W)``
+        numerators factor into ``(n, 3) @ (3, W)`` matrix products
+        (BLAS) followed by a handful of elementwise passes — no
+        ``(n, W, 2)`` temporaries, and one reciprocal instead of two
+        divisions per pair.
+        """
+        a, b = _as_segments(a, b)
+        n = a.shape[0]
+        if not self.num_walls:
+            return np.zeros((n, 0), dtype=bool)
+        out = np.empty((n, self.num_walls), dtype=bool)
+        rows = _chunk_rows(n, self.num_walls)
+        for i in range(0, n, rows):
+            self._wall_tile(a[i : i + rows], b[i : i + rows], out[i : i + rows])
+        return out
+
+    def _wall_tile_scratch(self) -> _TileScratch:
+        if self._wall_scratch is None:
+            self._wall_scratch = _TileScratch(
+                _chunk_rows(1 << 30, self.num_walls), self.num_walls
+            )
+        return self._wall_scratch
+
+    def _wall_tile(
+        self, a: np.ndarray, b: np.ndarray, ok: np.ndarray
+    ) -> np.ndarray:
+        """One tile of the wall crossing test, written into ``ok``."""
+        sc = self._wall_tile_scratch()
+        rows = a.shape[0]
+        f0, f1, f2, f3 = (sc.f[i][:rows] for i in range(4))
+        cmp = sc.b[0][:rows]
+        lhs = sc.lhs[:rows]
+        s0, s1 = self.wall_s[:, 0], self.wall_s[:, 1]  # (W,)
+        a0, a1, a2 = a[:, 0], a[:, 1], a[:, 2]
+        r0 = b[:, 0] - a0
+        r1 = b[:, 1] - a1
+        # denom = r × s → f0;  t_num = (p − a) × s → f2;
+        # u_num = (p − a) × r → f3  (both as (rows, 3) @ (3, W) BLAS).
+        np.multiply.outer(r0, s1, out=f0)
+        f0 -= np.multiply.outer(r1, s0)
+        np.abs(f0, out=f1)
+        np.greater(f1, _EPS, out=ok)
+        f1[:] = f0
+        np.logical_not(ok, out=cmp)
+        np.copyto(f1, 1.0, where=cmp)
+        inv = np.divide(1.0, f1, out=f1)
+        lhs[:, 0] = -a0
+        lhs[:, 1] = a1
+        lhs[:, 2] = 1.0
+        np.matmul(lhs, self._wall_mt, out=f2)
+        t = np.multiply(f2, inv, out=f2)
+        lhs[:, 0] = r1
+        np.negative(r0, out=lhs[:, 1])
+        np.multiply(a1, r0, out=lhs[:, 2])
+        lhs[:, 2] -= a0 * r1
+        np.matmul(lhs, self._wall_mu, out=f3)
+        u = np.multiply(f3, inv, out=f3)
+        np.greater(t, _EPS, out=cmp)
+        ok &= cmp
+        np.less(t, 1.0 - _EPS, out=cmp)
+        ok &= cmp
+        np.greater_equal(u, -_EPS, out=cmp)
+        ok &= cmp
+        np.less_equal(u, 1.0 + _EPS, out=cmp)
+        ok &= cmp
+        # z = a2 + t·dz → f0 (denom no longer needed).
+        np.multiply(t, (b[:, 2] - a2)[:, None], out=f0)
+        f0 += a2[:, None]
+        np.greater_equal(f0, self.wall_zmin[None, :] - _EPS, out=cmp)
+        ok &= cmp
+        np.less_equal(f0, self.wall_zmax[None, :] + _EPS, out=cmp)
+        ok &= cmp
+        return ok
+
+    def box_crossing_matrix(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Which segments ``a[i]→b[i]`` pass through which boxes, ``(n, B)``.
+
+        Slab method over all boxes at once, one axis at a time: every
+        intermediate is ``(n, B)`` (never ``(n, B, 3)``) and the slab
+        parameters use one reciprocal per segment axis instead of a
+        division per pair.
+        """
+        a, b = _as_segments(a, b)
+        n = a.shape[0]
+        if not self.num_boxes:
+            return np.zeros((n, 0), dtype=bool)
+        out = np.empty((n, self.num_boxes), dtype=bool)
+        rows = _chunk_rows(n, self.num_boxes)
+        for i in range(0, n, rows):
+            self._box_tile(a[i : i + rows], b[i : i + rows], out[i : i + rows])
+        return out
+
+    def _box_tile_scratch(self) -> _TileScratch:
+        if self._box_scratch is None:
+            self._box_scratch = _TileScratch(
+                _chunk_rows(1 << 30, self.num_boxes), self.num_boxes
+            )
+        return self._box_scratch
+
+    def _box_tile(
+        self, a: np.ndarray, b: np.ndarray, inside: np.ndarray
+    ) -> np.ndarray:
+        """One tile of the box slab test, written into ``inside``."""
+        sc = self._box_tile_scratch()
+        rows = a.shape[0]
+        t_enter, t_exit, w0, w1, w2 = (x[:rows] for x in sc.f)
+        cmp0, cmp1 = sc.b[0][:rows], sc.b[1][:rows]
+        t_enter[:] = 0.0
+        t_exit[:] = 1.0
+        inside[:] = True
+        for axis in range(3):
+            da = b[:, axis] - a[:, axis]
+            aa = a[:, axis]
+            lo = self.box_lo[:, axis]  # (B,)
+            hi = self.box_hi[:, axis]
+            parallel = np.abs(da) < _EPS  # (n,)
+            inv = 1.0 / np.where(parallel, 1.0, da)
+            np.subtract(lo[None, :], aa[:, None], out=w0)
+            w0 *= inv[:, None]  # t1
+            np.subtract(hi[None, :], aa[:, None], out=w1)
+            w1 *= inv[:, None]  # t2
+            lo_t = np.minimum(w0, w1, out=w2)
+            hi_t = np.maximum(w0, w1, out=w0)
+            if parallel.any():
+                # Parallel segments must start inside that slab to hit.
+                np.greater_equal(aa[:, None], lo[None, :] - _EPS, out=cmp0)
+                np.less_equal(aa[:, None], hi[None, :] + _EPS, out=cmp1)
+                cmp0 &= cmp1
+                cmp0 |= ~parallel[:, None]
+                inside &= cmp0
+                lo_t[parallel] = -np.inf
+                hi_t[parallel] = np.inf
+            np.maximum(t_enter, lo_t, out=t_enter)
+            np.minimum(t_exit, hi_t, out=t_exit)
+        np.less(t_enter, t_exit, out=cmp0)
+        inside &= cmp0
+        np.greater(t_exit, _EPS, out=cmp0)
+        inside &= cmp0
+        np.less(t_enter, 1.0 - _EPS, out=cmp0)
+        inside &= cmp0
+        return inside
+
+    # ------------------------------------------------------------------
+    # loss accumulation
+    # ------------------------------------------------------------------
+
+    def segment_loss_db(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        frequency_hz: float,
+        panels: Optional[PanelStack] = None,
+        exclude_wall_indices: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Total penetration loss (dB) per segment, ``(n,)``.
+
+        One broadcast pass over all walls, boxes, and stacked panel
+        obstacles; ``exclude_wall_indices`` zeroes walls out of the
+        accumulation (e.g. the reflector of an image path).
+        """
+        a, b = _as_segments(a, b)
+        n = a.shape[0]
+        loss = np.zeros(n)
+        wall_losses = box_losses = panel_losses = None
+        if self.num_walls:
+            wall_losses = self.wall_losses_db(frequency_hz)
+            if exclude_wall_indices is not None and len(exclude_wall_indices):
+                wall_losses = wall_losses.copy()
+                wall_losses[exclude_wall_indices] = 0.0
+        if self.num_boxes:
+            box_losses = self.box_losses_db(frequency_hz)
+        if panels is not None and panels.count:
+            panel_losses = panels.losses_db(frequency_hz)
+        # One tile loop accumulating all families: the crossing masks
+        # and their dot products against the loss vectors never leave
+        # the scratch tiles, so nothing (n × n_obstacles)-sized is ever
+        # materialized.
+        widest = max(self.num_walls, self.num_boxes)
+        if widest == 0:
+            rows = n
+        else:
+            rows = _chunk_rows(n, widest)
+        for i in range(0, n, rows):
+            asl, bsl = a[i : i + rows], b[i : i + rows]
+            lsl = loss[i : i + rows]
+            if wall_losses is not None:
+                sc = self._wall_tile_scratch()
+                ok = self._wall_tile(asl, bsl, sc.b[2][: asl.shape[0]])
+                cast = sc.f[0][: asl.shape[0]]
+                np.copyto(cast, ok)
+                lsl += cast @ wall_losses
+            if box_losses is not None:
+                sc = self._box_tile_scratch()
+                ok = self._box_tile(asl, bsl, sc.b[2][: asl.shape[0]])
+                cast = sc.f[2][: asl.shape[0]]
+                np.copyto(cast, ok)
+                lsl += cast @ box_losses
+            if panel_losses is not None:
+                lsl += panels.crossing_matrix(asl, bsl) @ panel_losses
+        return loss
+
+    def segment_amplitude(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        frequency_hz: float,
+        panels: Optional[PanelStack] = None,
+        exclude_wall_indices: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Linear amplitude factor per segment, ``(n,)``."""
+        loss = self.segment_loss_db(
+            a, b, frequency_hz, panels, exclude_wall_indices
+        )
+        return 10.0 ** (-loss / 20.0)
+
+    # ------------------------------------------------------------------
+    # image-method reflections
+    # ------------------------------------------------------------------
+
+    def reflection_legs(
+        self,
+        wall_index: int,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        frequency_hz: float,
+        panels: Optional[PanelStack] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Single-bounce paths via one wall for all source/target pairs.
+
+        Image method, batched: mirrors every source across the wall,
+        intersects every mirror→target segment with the wall rectangle,
+        and prices both legs' penetration (wall itself excluded) in two
+        stacked kernel passes.
+
+        Returns ``(valid, bounce, total_length, amplitude)`` with
+        shapes ``(S, T)`` / ``(S, T, 3)`` / ``(S, T)`` / ``(S, T)``;
+        ``amplitude`` includes the wall's reflectivity and is zero
+        wherever ``valid`` is False.
+        """
+        wall = self.walls[wall_index]
+        sources = np.atleast_2d(np.asarray(sources, dtype=float))
+        targets = np.atleast_2d(np.asarray(targets, dtype=float))
+        n_s, n_t = sources.shape[0], targets.shape[0]
+        p = self.wall_p[wall_index]
+        s = self.wall_s[wall_index]
+        seg_len = np.linalg.norm(s)
+        normal = np.array([-s[1], s[0]]) / seg_len
+        dist = (sources[:, :2] - p[None, :]) @ normal
+        mirrored = sources.copy()
+        mirrored[:, :2] -= 2.0 * dist[:, None] * normal[None, :]
+
+        # Intersect mirrored[i]→targets[j] with the wall rectangle.
+        r = targets[None, :, :2] - mirrored[:, None, :2]  # (S, T, 2)
+        denom = r[:, :, 0] * s[1] - r[:, :, 1] * s[0]
+        ok = np.abs(denom) > _EPS
+        safe = np.where(ok, denom, 1.0)
+        ap = p[None, None, :] - mirrored[:, None, :2]
+        t = (ap[:, :, 0] * s[1] - ap[:, :, 1] * s[0]) / safe
+        u = (ap[:, :, 0] * r[:, :, 1] - ap[:, :, 1] * r[:, :, 0]) / safe
+        dz = targets[None, :, 2] - mirrored[:, None, 2]
+        z = mirrored[:, None, 2] + t * dz
+        valid = (
+            ok
+            & (t > _EPS)
+            & (t < 1.0 - _EPS)
+            & (u >= -_EPS)
+            & (u <= 1.0 + _EPS)
+            & (z >= wall.z_min - _EPS)
+            & (z <= wall.z_max + _EPS)
+        )
+
+        bounce = np.empty((n_s, n_t, 3))
+        bounce[:, :, :2] = mirrored[:, None, :2] + t[:, :, None] * r
+        bounce[:, :, 2] = z
+        leg1 = np.linalg.norm(bounce - sources[:, None, :], axis=2)
+        leg2 = np.linalg.norm(targets[None, :, :] - bounce, axis=2)
+        valid &= (leg1 >= _EPS) & (leg2 >= _EPS)
+        total_length = leg1 + leg2
+
+        amplitude = np.zeros((n_s, n_t))
+        if valid.any():
+            si, ti = np.nonzero(valid)
+            exclude = np.array([wall_index], dtype=int)
+            amp1 = self.segment_amplitude(
+                sources[si], bounce[si, ti], frequency_hz, panels, exclude
+            )
+            amp2 = self.segment_amplitude(
+                bounce[si, ti], targets[ti], frequency_hz, panels, exclude
+            )
+            amplitude[si, ti] = wall.material.reflectivity * amp1 * amp2
+        # Negligible bounces are dropped, matching the loop formulation.
+        faint = amplitude < 1e-8
+        valid &= ~faint
+        amplitude[faint] = 0.0
+        return valid, bounce, total_length, amplitude
+
+    def reflective_wall_indices(
+        self, min_reflectivity: float = 0.05
+    ) -> Tuple[int, ...]:
+        """Compiled indices of walls worth bouncing off."""
+        return tuple(
+            i
+            for i, w in enumerate(self.walls)
+            if w.material.reflectivity >= min_reflectivity
+        )
+
+
+_COMPILED: "WeakKeyDictionary[Environment, CompiledGeometry]" = (
+    WeakKeyDictionary()
+)
+
+
+def compiled_geometry(env: Environment) -> CompiledGeometry:
+    """The compiled kernels for an environment's current version.
+
+    Recompiles only when :attr:`Environment.version` has moved since
+    the last call; compilation is a handful of small array stacks, but
+    the returned object also memoizes per-frequency loss vectors, so
+    reuse matters.
+    """
+    compiled = _COMPILED.get(env)
+    if compiled is None or compiled.version != env.version:
+        compiled = CompiledGeometry(env)
+        _COMPILED[env] = compiled
+    return compiled

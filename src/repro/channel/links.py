@@ -27,8 +27,9 @@ import numpy as np
 from ..core.units import wavelength
 from ..geometry.environment import Environment
 from ..surfaces.panel import SurfacePanel
+from .geomkernels import PanelStack, compiled_geometry
 from .nodes import RadioNode
-from .tracer import PanelObstacle, reflection_paths, segment_amplitude
+from .tracer import PanelObstacle, segment_amplitude
 
 _TINY = 1e-12
 
@@ -50,6 +51,31 @@ def _pattern_amplitudes(
     Shape ``(len(sources), len(targets))``; sources share one boresight.
     """
     diff = targets[None, :, :] - sources[:, None, :]
+    dist = np.linalg.norm(diff, axis=2)
+    safe = np.maximum(dist, _TINY)
+    cos_theta = np.einsum("stk,k->st", diff, boresight) / safe
+    peak = pattern.peak_gain_linear
+    if pattern.cos_exponent == 0.0:
+        gains = np.full_like(cos_theta, peak)
+    else:
+        gains = peak * np.clip(np.abs(cos_theta), 0.0, 1.0) ** pattern.cos_exponent
+    if pattern.front_only:
+        gains = np.where(cos_theta > 0.0, gains, 0.0)
+    return np.sqrt(gains)
+
+
+def _pattern_amplitudes_pairwise(
+    sources: np.ndarray,
+    boresight: np.ndarray,
+    pattern,
+    targets: np.ndarray,
+) -> np.ndarray:
+    """Amplitude pattern gains toward per-pair targets.
+
+    ``targets`` is ``(S, T, 3)`` — a distinct aim point per source/
+    target pair (reflection bounce points); returns ``(S, T)``.
+    """
+    diff = targets - sources[:, None, :]
     dist = np.linalg.norm(diff, axis=2)
     safe = np.maximum(dist, _TINY)
     cos_theta = np.einsum("stk,k->st", diff, boresight) / safe
@@ -112,20 +138,29 @@ def node_to_points(
         * np.exp(-1j * k_wave * dist)
     )
     if include_reflections:
-        for m in range(ant.shape[0]):
-            for k in range(points.shape[0]):
-                for path in reflection_paths(
-                    env, ant[m], points[k], frequency_hz, panel_obstacles
-                ):
-                    amp = (
-                        (lam / (4.0 * math.pi * path.total_length))
-                        * path.amplitude_factor
-                        * node.pattern.amplitude_toward(
-                            ant[m], node.boresight, path.bounce_point
-                        )
-                        * math.sqrt(rx_gain)
-                    )
-                    h[m, k] += amp * np.exp(-1j * k_wave * path.total_length)
+        # Image method, batched per reflective wall: every (antenna,
+        # point) pair bounces in one kernel pass instead of a Python
+        # loop over M×K×walls scalar traces.
+        compiled = compiled_geometry(env)
+        panels = PanelStack(panel_obstacles) if panel_obstacles else None
+        rx_amp = math.sqrt(rx_gain)
+        for index in compiled.reflective_wall_indices():
+            valid, bounce, length, refl_amp = compiled.reflection_legs(
+                index, ant, points, frequency_hz, panels
+            )
+            if not valid.any():
+                continue
+            safe_len = np.where(valid, length, 1.0)
+            pattern_amp = _pattern_amplitudes_pairwise(
+                ant, node.boresight, node.pattern, bounce
+            )
+            amp = (
+                (lam / (4.0 * math.pi * safe_len))
+                * refl_amp  # zero wherever the bounce is invalid
+                * pattern_amp
+                * rx_amp
+            )
+            h += amp * np.exp(-1j * k_wave * length)
     return h.T  # (K, M)
 
 

@@ -70,6 +70,23 @@ class LinearChannelForm:
             )
         return self.coeffs @ x + self.offset
 
+    def evaluate_many(self, x: np.ndarray) -> np.ndarray:
+        """Channels ``(P, K, M)`` for a batch of coefficients ``(P, E)``.
+
+        One tensor contraction for the whole population — the hook the
+        batched objectives (:meth:`Objective.value_many`) evaluate
+        through.
+        """
+        x = np.atleast_2d(np.asarray(x))
+        if x.ndim != 2 or x.shape[1] != self.num_elements:
+            raise SimulationError(
+                f"batch shape {x.shape} != (P, {self.num_elements})"
+            )
+        return (
+            np.tensordot(x, self.coeffs, axes=([1], [2]))
+            + self.offset[None, :, :]
+        )
+
     def restricted(self, point_indices: Sequence[int]) -> "LinearChannelForm":
         """The same form over a subset of evaluation points."""
         idx = np.asarray(point_indices, dtype=int)
@@ -236,3 +253,71 @@ class ChannelModel:
             surface_to_surface=self.surface_to_surface,
             frequency_hz=self.frequency_hz,
         )
+
+
+class LinearFormCache:
+    """Memoized :meth:`ChannelModel.linear_form` extractions.
+
+    A surface's linear form depends only on the *other* surfaces'
+    coefficients, so across block-coordinate rounds — and always in
+    single-surface deployments — the extraction is recomputed for
+    identical inputs.  This cache keys each form on a digest of the
+    other surfaces' coefficient bytes and keeps a small LRU per
+    surface id.
+
+    Create one per optimization pass (it holds references into the
+    model's tensors); pass a telemetry instance to surface
+    ``channel.form_cache_hits`` / ``channel.form_cache_misses``.
+    """
+
+    def __init__(self, model: ChannelModel, maxsize: int = 8, telemetry=None):
+        import collections
+
+        self.model = model
+        self.maxsize = max(1, maxsize)
+        self.telemetry = telemetry
+        self._entries: "collections.OrderedDict[Tuple[str, str], LinearChannelForm]" = (
+            collections.OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def _key(
+        self, surface_id: str, other_configs: Mapping[str, np.ndarray]
+    ) -> Tuple[str, str]:
+        import hashlib
+
+        digest = hashlib.sha1()
+        for sid in self.model.surface_ids:
+            if sid == surface_id:
+                continue
+            digest.update(sid.encode())
+            digest.update(
+                np.ascontiguousarray(
+                    np.asarray(other_configs[sid], dtype=complex)
+                ).tobytes()
+            )
+        return (surface_id, digest.hexdigest())
+
+    def linear_form(
+        self,
+        surface_id: str,
+        other_configs: Mapping[str, np.ndarray],
+    ) -> LinearChannelForm:
+        """Like :meth:`ChannelModel.linear_form`, but memoized."""
+        key = self._key(surface_id, other_configs)
+        form = self._entries.get(key)
+        if form is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            if self.telemetry is not None:
+                self.telemetry.counter("channel.form_cache_hits")
+            return form
+        self.misses += 1
+        if self.telemetry is not None:
+            self.telemetry.counter("channel.form_cache_misses")
+        form = self.model.linear_form(surface_id, other_configs)
+        self._entries[key] = form
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return form

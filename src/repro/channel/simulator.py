@@ -13,6 +13,7 @@ changed.
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -62,6 +63,9 @@ class ChannelSimulator:
             blocking hazard).
         max_cascade_distance_m: skip surface-pair interactions farther
             apart than this (their second-order term is negligible).
+        cache_size: LRU bound on cached channel builds; the oldest
+            entry is evicted when exceeded, and entries built against
+            a stale environment version are purged eagerly.
         telemetry: where cache counters and per-leg trace spans go;
             defaults to a private instance.
     """
@@ -73,19 +77,24 @@ class ChannelSimulator:
         include_reflections: bool = True,
         include_panel_blockage: bool = True,
         max_cascade_distance_m: float = 30.0,
+        cache_size: int = 32,
         telemetry: Optional[Telemetry] = None,
     ):
         if frequency_hz <= 0:
             raise SimulationError("carrier frequency must be positive")
+        if cache_size < 1:
+            raise SimulationError("cache_size must be at least 1")
         self.env = env
         self.frequency_hz = frequency_hz
         self.include_reflections = include_reflections
         self.include_panel_blockage = include_panel_blockage
         self.max_cascade_distance_m = max_cascade_distance_m
+        self.cache_size = cache_size
         self.telemetry = telemetry or Telemetry()
-        self._cache: Dict[str, ChannelModel] = {}
+        self._cache: "OrderedDict[str, Tuple[int, ChannelModel]]" = OrderedDict()
         self._cache_hits = 0
         self._cache_misses = 0
+        self._last_version = env.version
 
     # ------------------------------------------------------------------
 
@@ -138,12 +147,14 @@ class ChannelSimulator:
         ids = [p.panel_id for p in panels]
         if len(set(ids)) != len(ids):
             raise SimulationError(f"duplicate panel ids: {ids}")
+        self._purge_stale()
         key = self._cache_key(ap, points, panels)
         cached = self._cache.get(key)
         if cached is not None:
+            self._cache.move_to_end(key)
             self._cache_hits += 1
             self.telemetry.counter("channel.cache_hits")
-            return cached
+            return cached[1]
         self._cache_misses += 1
         self.telemetry.counter("channel.cache_misses")
 
@@ -203,8 +214,29 @@ class ChannelSimulator:
             surface_to_surface=surface_to_surface,
             frequency_hz=freq,
         )
-        self._cache[key] = model
+        self._cache[key] = (self.env.version, model)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+            self.telemetry.counter("channel.cache_evictions")
+        self.telemetry.gauge("channel.cache_size", len(self._cache))
         return model
+
+    def _purge_stale(self) -> None:
+        """Eagerly drop entries built against an older environment version.
+
+        Their keys can never hit again (the key embeds the version), so
+        keeping them would only crowd live entries out of the LRU.
+        """
+        version = self.env.version
+        if version == self._last_version:
+            return
+        self._last_version = version
+        stale = [k for k, (v, _) in self._cache.items() if v != version]
+        for k in stale:
+            del self._cache[k]
+        if stale:
+            self.telemetry.counter("channel.cache_stale_evictions", len(stale))
+            self.telemetry.gauge("channel.cache_size", len(self._cache))
 
     @staticmethod
     def _panels_face_each_other(a: SurfacePanel, b: SurfacePanel) -> bool:
@@ -235,9 +267,19 @@ class ChannelSimulator:
         return model.evaluate(configs)[0]
 
     def invalidate(self) -> None:
-        """Drop all cached channel builds."""
+        """Drop all cached channel builds and reset hit/miss stats.
+
+        The monotonic ``channel.cache_invalidations`` counter keeps
+        counting across invalidations; ``cache_stats`` and the
+        ``channel.cache_size`` gauge restart from a clean slate so the
+        numbers after an invalidation describe only the new epoch.
+        """
         self._cache.clear()
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._last_version = self.env.version
         self.telemetry.counter("channel.cache_invalidations")
+        self.telemetry.gauge("channel.cache_size", 0)
 
 
 def live_configs(panels: Sequence[SurfacePanel]) -> Dict[str, np.ndarray]:

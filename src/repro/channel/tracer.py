@@ -8,76 +8,28 @@ point pairs at once:
 * first-order *specular reflection* paths between two points via the
   environment's reflective walls (image method).
 
-Both are vectorized over numpy arrays because a single channel build
-evaluates hundreds of thousands of segments.
+Both run on the precompiled broadcast kernels in
+:mod:`~repro.channel.geomkernels`: the environment's walls and boxes
+are stacked into contiguous arrays once per
+:attr:`Environment.version`, so a query over ``n`` segments is a single
+``(n × n_obstacles)`` pass instead of a per-obstacle Python loop — a
+single channel build evaluates hundreds of thousands of segments.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 
 from ..geometry.environment import Environment
-from ..geometry.shapes import Box, Wall
+from ..geometry.shapes import Wall
 from ..geometry.vec import as_vec3
 from ..surfaces.panel import SurfacePanel
+from .geomkernels import PanelStack, compiled_geometry
 
 _EPS = 1e-9
-
-
-def _wall_crossing_mask(
-    wall: Wall, a: np.ndarray, b: np.ndarray
-) -> np.ndarray:
-    """Boolean mask of which segments ``a[i]→b[i]`` cross a wall.
-
-    ``a`` and ``b`` are ``(n, 3)`` arrays of matched endpoints.
-    """
-    p, q = wall.start[:2], wall.end[:2]
-    s = q - p
-    r = b[:, :2] - a[:, :2]
-    denom = r[:, 0] * s[1] - r[:, 1] * s[0]
-    ok = np.abs(denom) > _EPS
-    safe = np.where(ok, denom, 1.0)
-    ap = p[None, :] - a[:, :2]
-    t = (ap[:, 0] * s[1] - ap[:, 1] * s[0]) / safe
-    u = (ap[:, 0] * r[:, 1] - ap[:, 1] * r[:, 0]) / safe
-    z = a[:, 2] + t * (b[:, 2] - a[:, 2])
-    return (
-        ok
-        & (t > _EPS)
-        & (t < 1.0 - _EPS)
-        & (u >= -_EPS)
-        & (u <= 1.0 + _EPS)
-        & (z >= wall.z_min - _EPS)
-        & (z <= wall.z_max + _EPS)
-    )
-
-
-def _box_crossing_mask(box: Box, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Boolean mask of which segments ``a[i]→b[i]`` pass through a box."""
-    d = b - a
-    t_enter = np.zeros(a.shape[0])
-    t_exit = np.ones(a.shape[0])
-    inside_slabs = np.ones(a.shape[0], dtype=bool)
-    for axis in range(3):
-        da = d[:, axis]
-        parallel = np.abs(da) < _EPS
-        safe = np.where(parallel, 1.0, da)
-        t1 = (box.lo[axis] - a[:, axis]) / safe
-        t2 = (box.hi[axis] - a[:, axis]) / safe
-        lo_t = np.minimum(t1, t2)
-        hi_t = np.maximum(t1, t2)
-        # Parallel segments must start inside the slab to ever hit.
-        in_slab = (a[:, axis] >= box.lo[axis] - _EPS) & (
-            a[:, axis] <= box.hi[axis] + _EPS
-        )
-        inside_slabs &= np.where(parallel, in_slab, True)
-        t_enter = np.where(parallel, t_enter, np.maximum(t_enter, lo_t))
-        t_exit = np.where(parallel, t_exit, np.minimum(t_exit, hi_t))
-    return inside_slabs & (t_enter < t_exit) & (t_exit > _EPS) & (t_enter < 1.0 - _EPS)
 
 
 @dataclass(frozen=True)
@@ -131,27 +83,10 @@ def segment_loss_db(
     ``exclude_walls`` removes walls (e.g. the reflector of an image
     path) from consideration.
     """
-    a = np.atleast_2d(np.asarray(a, dtype=float))
-    b = np.atleast_2d(np.asarray(b, dtype=float))
-    if a.shape != b.shape:
-        raise ValueError(f"endpoint arrays differ: {a.shape} vs {b.shape}")
-    loss = np.zeros(a.shape[0])
-    excluded = {id(w) for w in exclude_walls}
-    for wall in env.walls:
-        if id(wall) in excluded:
-            continue
-        mask = _wall_crossing_mask(wall, a, b)
-        if mask.any():
-            loss[mask] += wall.material.penetration_loss_db(frequency_hz)
-    for box in env.boxes:
-        mask = _box_crossing_mask(box, a, b)
-        if mask.any():
-            loss[mask] += box.material.penetration_loss_db(frequency_hz)
-    for obstacle in panel_obstacles:
-        mask = obstacle.crossing_mask(a, b)
-        if mask.any():
-            loss[mask] += obstacle.loss_db(frequency_hz)
-    return loss
+    compiled = compiled_geometry(env)
+    exclude = compiled.wall_indices(exclude_walls) if exclude_walls else None
+    panels = PanelStack(panel_obstacles) if panel_obstacles else None
+    return compiled.segment_loss_db(a, b, frequency_hz, panels, exclude)
 
 
 def segment_amplitude(
@@ -201,46 +136,22 @@ def reflection_paths(
     point to lie on the wall rectangle.  The reflecting wall itself is
     excluded from the legs' penetration loss.
     """
-    a3, b3 = as_vec3(a), as_vec3(b)
+    a3, b3 = as_vec3(a)[None, :], as_vec3(b)[None, :]
+    compiled = compiled_geometry(env)
+    panels = PanelStack(panel_obstacles) if panel_obstacles else None
     paths: List[ReflectionPath] = []
-    for wall in env.reflective_walls():
-        mirrored = wall.mirror_point(a3)
-        bounce = wall.intersect_segment(mirrored, b3)
-        if bounce is None:
-            continue
-        leg1 = float(np.linalg.norm(bounce - a3))
-        leg2 = float(np.linalg.norm(b3 - bounce))
-        if leg1 < _EPS or leg2 < _EPS:
-            continue
-        amp = wall.material.reflectivity
-        amp *= float(
-            segment_amplitude(
-                env,
-                a3[None, :],
-                bounce[None, :],
-                frequency_hz,
-                panel_obstacles,
-                exclude_walls=(wall,),
-            )[0]
+    for index in compiled.reflective_wall_indices():
+        valid, bounce, length, amp = compiled.reflection_legs(
+            index, a3, b3, frequency_hz, panels
         )
-        amp *= float(
-            segment_amplitude(
-                env,
-                bounce[None, :],
-                b3[None, :],
-                frequency_hz,
-                panel_obstacles,
-                exclude_walls=(wall,),
-            )[0]
-        )
-        if amp < 1e-8:
+        if not valid[0, 0]:
             continue
         paths.append(
             ReflectionPath(
-                wall=wall,
-                bounce_point=bounce,
-                total_length=leg1 + leg2,
-                amplitude_factor=amp,
+                wall=compiled.walls[index],
+                bounce_point=bounce[0, 0],
+                total_length=float(length[0, 0]),
+                amplitude_factor=float(amp[0, 0]),
             )
         )
     return paths

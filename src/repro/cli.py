@@ -139,11 +139,17 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .core.errors import SurfOSError
-    from .telemetry import load_jsonl, render_report
+    from .telemetry import load_jsonl, render_profile, render_report
+    from .telemetry.report import _aggregate_spans
 
     if args.report:
         try:
-            print(render_report(load_jsonl(args.report)))
+            records = load_jsonl(args.report)
+            print(render_report(records))
+            if args.profile is not None:
+                spans, _ = _aggregate_spans(records)
+                print()
+                print(render_profile(spans, top=args.profile))
         except SurfOSError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
@@ -189,6 +195,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(f"  {phase:>18}: {seconds * 1e3:8.2f} ms")
     print()
     print(system.telemetry.summary())
+    if args.profile is not None:
+        print()
+        print(render_profile(system.telemetry.snapshot().spans, top=args.profile))
     if args.jsonl:
         system.telemetry.export_jsonl(args.jsonl)
         print(f"\nevent log written to {args.jsonl}")
@@ -264,6 +273,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument(
         "--iterations", type=int, default=60, help="optimizer iteration budget"
+    )
+    trace.add_argument(
+        "--profile",
+        type=int,
+        nargs="?",
+        const=10,
+        default=None,
+        metavar="N",
+        help="also print the top-N telemetry spans by self-time (default 10)",
     )
     trace.set_defaults(fn=_cmd_trace)
     return parser

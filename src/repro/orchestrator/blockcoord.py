@@ -15,7 +15,7 @@ from typing import Callable, Dict, Mapping, Optional, Sequence
 
 import numpy as np
 
-from ..channel.model import ChannelModel, LinearChannelForm
+from ..channel.model import ChannelModel, LinearChannelForm, LinearFormCache
 from ..core.errors import OptimizationError
 from ..surfaces.panel import SurfacePanel
 from .objectives import Objective
@@ -88,12 +88,16 @@ def optimize_surfaces(
                 )
         return coeffs
 
+    # Memoize linear-form extraction: when the fixed surfaces' phases
+    # stop changing between rounds (or there is a single surface), the
+    # extraction for identical inputs is served from cache.
+    forms = LinearFormCache(model)
     results: Dict[str, OptimizationResult] = {}
     order = sorted(by_id)
     for _ in range(rounds):
         for sid in order:
             panel = by_id[sid]
-            form = model.linear_form(sid, current_coefficients())
+            form = forms.linear_form(sid, current_coefficients())
             amplitudes = panel.configuration.amplitudes.reshape(-1)
             objective = objective_builder(form, amplitudes)
             projection = panel_projection(panel) if project else None

@@ -41,6 +41,17 @@ class Objective:
         """Loss at a phase vector."""
         return self.value_and_gradient(phases)[0]
 
+    def value_many(self, phases_batch: np.ndarray) -> np.ndarray:
+        """Losses for a batch of phase vectors, shape ``(P,)``.
+
+        The population-evaluation hook the value-only optimizers route
+        through.  The base implementation loops :meth:`value`; the
+        ``LinearChannelForm``-backed objectives override it with one
+        vectorized pass over the whole batch.
+        """
+        batch = self._check_batch(phases_batch)
+        return np.array([self.value(row) for row in batch])
+
     def value_and_gradient(self, phases: np.ndarray) -> Tuple[float, np.ndarray]:
         """Loss and its analytic gradient."""
         raise NotImplementedError
@@ -52,6 +63,14 @@ class Objective:
                 f"phase vector has shape {phases.shape}, expected ({self.dim},)"
             )
         return phases
+
+    def _check_batch(self, phases_batch: np.ndarray) -> np.ndarray:
+        batch = np.atleast_2d(np.asarray(phases_batch, dtype=float))
+        if batch.ndim != 2 or batch.shape[1] != self.dim:
+            raise OptimizationError(
+                f"phase batch has shape {batch.shape}, expected (P, {self.dim})"
+            )
+        return batch
 
 
 def _phase_gradient(x: np.ndarray, accumulated: np.ndarray) -> np.ndarray:
@@ -116,6 +135,15 @@ class CoverageObjective(Objective):
         gains = np.sum(np.abs(h) ** 2, axis=1)
         return np.array([self.goal.budget.snr_db(g) for g in gains])
 
+    def value_many(self, phases_batch: np.ndarray) -> np.ndarray:
+        batch = self._check_batch(phases_batch)
+        budget = self.goal.budget
+        x = self.amplitudes[None, :] * np.exp(1j * batch)  # (P, E)
+        h = self.form.evaluate_many(x)  # (P, K, M)
+        power = np.sum(np.abs(h) ** 2, axis=2)  # (P, K)
+        snr = budget.tx_power_watts * power / budget.noise_watts
+        return -np.sum(self._weights[None, :] * np.log2(1.0 + snr), axis=1)
+
     def value_and_gradient(self, phases: np.ndarray) -> Tuple[float, np.ndarray]:
         phases = self._check(phases)
         budget = self.goal.budget
@@ -170,6 +198,14 @@ class PoweringObjective(Objective):
         return np.array(
             [watts_to_dbm(self.budget.tx_power_watts * g) for g in gains]
         )
+
+    def value_many(self, phases_batch: np.ndarray) -> np.ndarray:
+        batch = self._check_batch(phases_batch)
+        x = self.amplitudes[None, :] * np.exp(1j * batch)
+        h = self.form.evaluate_many(x)  # (P, K, M)
+        power = np.sum(np.abs(h) ** 2, axis=2)  # (P, K)
+        mean_power = np.mean(power, axis=1) + 1e-30
+        return -10.0 * np.log10(mean_power)
 
     def value_and_gradient(self, phases: np.ndarray) -> Tuple[float, np.ndarray]:
         phases = self._check(phases)
@@ -259,6 +295,24 @@ class LocalizationObjective(Objective):
         """Argmax AoA estimate per point."""
         return np.argmax(self.spectrum(phases), axis=1)
 
+    def value_many(self, phases_batch: np.ndarray) -> np.ndarray:
+        batch = self._check_batch(phases_batch)
+        x = self.amplitudes[None, :] * np.exp(1j * batch)  # (P, E)
+        h = self.form.evaluate_many(x)  # (P, K, M)
+        h_hat = np.tensordot(x, self.predictions, axes=([1], [2]))  # (P, I, M)
+        n_h = np.sum(np.abs(h) ** 2, axis=2)  # (P, K)
+        n_i = np.sum(np.abs(h_hat) ** 2, axis=2)  # (P, I)
+        r = np.einsum("pkm,pim->pki", np.conj(h), h_hat)  # (P, K, I)
+        denom = n_h[:, :, None] * n_i[:, None, :] + self.epsilon
+        spectrum = np.abs(r) ** 2 / denom
+        z = self.beta * spectrum
+        z -= z.max(axis=2, keepdims=True)
+        expz = np.exp(z)
+        p = expz / expz.sum(axis=2, keepdims=True)
+        k = self.form.num_points
+        picked = p[:, np.arange(k), self.true_idx]  # (P, K)
+        return -np.mean(np.log(picked + 1e-300), axis=1)
+
     def value_and_gradient(self, phases: np.ndarray) -> Tuple[float, np.ndarray]:
         phases = self._check(phases)
         x = self.amplitudes * np.exp(1j * phases)
@@ -310,6 +364,13 @@ class JointObjective(Objective):
             total += weight * value
             grad += weight * g
         return total, grad
+
+    def value_many(self, phases_batch: np.ndarray) -> np.ndarray:
+        batch = self._check_batch(phases_batch)
+        total = np.zeros(batch.shape[0])
+        for objective, weight in self.parts:
+            total += weight * np.asarray(objective.value_many(batch))
+        return total
 
 
 class FiniteDifferenceObjective(Objective):

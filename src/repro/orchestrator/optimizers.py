@@ -32,9 +32,13 @@ class OptimizationResult:
     Attributes:
         phases: best feasible phase vector found.
         loss: objective value at ``phases`` (after projection).
-        history: loss trajectory, one entry per iteration.
-        iterations: iterations actually executed.
+        history: loss trajectory; ``history[0]`` is the initial
+            incumbent, one entry per iteration/step after that.
+        iterations: iterations actually executed (the initial incumbent
+            evaluation is *not* an iteration).
         converged: whether the tolerance stop fired before the budget.
+        evaluations: total objective evaluations spent, including the
+            initial incumbent and the final projected evaluation.
     """
 
     phases: np.ndarray
@@ -42,10 +46,14 @@ class OptimizationResult:
     history: List[float] = field(default_factory=list)
     iterations: int = 0
     converged: bool = False
+    evaluations: int = 0
 
 
 class Optimizer:
     """Interface: minimize an objective from an initial phase vector."""
+
+    #: Optional telemetry sink; set via :meth:`bind_telemetry`.
+    telemetry = None
 
     def optimize(
         self,
@@ -56,24 +64,35 @@ class Optimizer:
         """Run the optimizer; always returns a projected, evaluated result."""
         raise NotImplementedError
 
-    @staticmethod
+    def bind_telemetry(self, telemetry) -> None:
+        """Attach a telemetry instance for objective-evaluation counters."""
+        self.telemetry = telemetry
+
+    def _count_evals(self, count: int) -> None:
+        if self.telemetry is not None and count:
+            self.telemetry.counter("optimizer.objective_evaluations", count)
+
     def _finalize(
+        self,
         objective: Objective,
         phases: np.ndarray,
         history: List[float],
         iterations: int,
         converged: bool,
         projection: Optional[Projection],
+        evaluations: int = 0,
     ) -> OptimizationResult:
         if projection is not None:
             phases = projection(phases)
         loss = objective.value(phases)
+        self._count_evals(1)
         return OptimizationResult(
             phases=phases,
             loss=loss,
             history=history,
             iterations=iterations,
             converged=converged,
+            evaluations=evaluations + 1,
         )
 
 
@@ -111,8 +130,10 @@ class GradientDescent(Optimizer):
             phases = phases + velocity
             if self.project_each_step and projection is not None:
                 phases = projection(phases)
+        self._count_evals(len(history))
         return self._finalize(
-            objective, phases, history, len(history), converged, projection
+            objective, phases, history, len(history), converged, projection,
+            evaluations=len(history),
         )
 
 
@@ -149,8 +170,10 @@ class Adam(Optimizer):
             phases = phases - self.learning_rate * m_hat / (
                 np.sqrt(v_hat) + self.epsilon
             )
+        self._count_evals(len(history))
         return self._finalize(
-            objective, best_phases, history, len(history), converged, projection
+            objective, best_phases, history, len(history), converged, projection,
+            evaluations=len(history),
         )
 
 
@@ -159,7 +182,9 @@ class RandomSearch(Optimizer):
     """Gaussian perturbation search (no gradients).
 
     Keeps the incumbent and samples ``population`` perturbations per
-    iteration with a step scale that decays on failure to improve.
+    iteration — evaluated as one batch through
+    :meth:`Objective.value_many` — with a step scale that decays on
+    failure to improve.
     """
 
     population: int = 16
@@ -171,22 +196,26 @@ class RandomSearch(Optimizer):
     def optimize(self, objective, initial_phases, projection=None):
         rng = np.random.default_rng(self.seed)
         phases = np.asarray(initial_phases, dtype=float).reshape(-1).copy()
-        best_loss = objective.value(phases)
+        best_loss = float(objective.value(phases))
+        self._count_evals(1)
+        evaluations = 1
         history = [best_loss]
         scale = self.initial_scale
         for _ in range(self.max_iterations):
-            improved = False
-            for _ in range(self.population):
-                candidate = phases + rng.normal(scale=scale, size=phases.shape)
-                loss = objective.value(candidate)
-                if loss < best_loss:
-                    best_loss, phases = loss, candidate
-                    improved = True
-            history.append(best_loss)
-            if not improved:
+            offsets = rng.normal(scale=scale, size=(self.population, phases.size))
+            candidates = phases[None, :] + offsets
+            losses = np.asarray(objective.value_many(candidates))
+            self._count_evals(self.population)
+            evaluations += self.population
+            j = int(np.argmin(losses))
+            if losses[j] < best_loss:
+                best_loss, phases = float(losses[j]), candidates[j].copy()
+            else:
                 scale *= self.decay
+            history.append(best_loss)
         return self._finalize(
-            objective, phases, history, len(history), False, projection
+            objective, phases, history, len(history) - 1, False, projection,
+            evaluations=evaluations,
         )
 
 
@@ -197,6 +226,13 @@ class SimulatedAnnealing(Optimizer):
     Proposals perturb a random subset of phases; acceptance follows the
     Metropolis rule under a geometric temperature schedule.  Useful for
     heavily quantized hardware where gradients are uninformative.
+
+    Proposals are evaluated speculatively in blocks of ``speculation``
+    through :meth:`Objective.value_many`: all candidates in a block are
+    drawn from the current state, scanned in order, and the tail of the
+    block is discarded as stale once a proposal is accepted.  The
+    Metropolis acceptance law is unchanged; only the RNG trajectory
+    differs from a strictly sequential scan.
     """
 
     initial_temperature: float = 1.0
@@ -204,34 +240,53 @@ class SimulatedAnnealing(Optimizer):
     steps: int = 600
     subset_fraction: float = 0.1
     proposal_scale: float = 1.5
+    speculation: int = 8
     seed: int = 0
 
     def optimize(self, objective, initial_phases, projection=None):
         if not 0.0 < self.subset_fraction <= 1.0:
             raise OptimizationError("subset_fraction must lie in (0, 1]")
+        if self.speculation < 1:
+            raise OptimizationError("speculation must be at least 1")
         rng = np.random.default_rng(self.seed)
         phases = np.asarray(initial_phases, dtype=float).reshape(-1).copy()
-        current = objective.value(phases)
+        current = float(objective.value(phases))
+        self._count_evals(1)
+        evaluations = 1
         best_phases, best_loss = phases.copy(), current
         history = [current]
         temperature = self.initial_temperature
         subset = max(1, int(round(self.subset_fraction * phases.size)))
-        for _ in range(self.steps):
-            candidate = phases.copy()
-            idx = rng.choice(phases.size, size=subset, replace=False)
-            candidate[idx] += rng.normal(scale=self.proposal_scale, size=subset)
-            loss = objective.value(candidate)
-            accept = loss < current or rng.random() < math.exp(
-                -(loss - current) / max(temperature, 1e-12)
-            )
-            if accept:
-                phases, current = candidate, loss
-                if loss < best_loss:
-                    best_phases, best_loss = candidate.copy(), loss
-            history.append(current)
-            temperature *= self.cooling
+        steps_done = 0
+        while steps_done < self.steps:
+            block = min(self.speculation, self.steps - steps_done)
+            candidates = np.tile(phases, (block, 1))
+            for j in range(block):
+                idx = rng.choice(phases.size, size=subset, replace=False)
+                candidates[j, idx] += rng.normal(
+                    scale=self.proposal_scale, size=subset
+                )
+            uniforms = rng.random(block)
+            losses = np.asarray(objective.value_many(candidates))
+            self._count_evals(block)
+            evaluations += block
+            for j in range(block):
+                loss = float(losses[j])
+                accept = loss < current or uniforms[j] < math.exp(
+                    -(loss - current) / max(temperature, 1e-12)
+                )
+                if accept:
+                    phases, current = candidates[j].copy(), loss
+                    if loss < best_loss:
+                        best_phases, best_loss = phases.copy(), loss
+                history.append(current)
+                steps_done += 1
+                temperature *= self.cooling
+                if accept:
+                    break
         return self._finalize(
-            objective, best_phases, history, len(history), False, projection
+            objective, best_phases, history, steps_done, False, projection,
+            evaluations=evaluations,
         )
 
 

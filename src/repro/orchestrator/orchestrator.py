@@ -29,7 +29,7 @@ from typing import (
 
 import numpy as np
 
-from ..channel.model import ChannelModel, LinearChannelForm
+from ..channel.model import ChannelModel, LinearChannelForm, LinearFormCache
 from ..channel.simulator import ChannelSimulator
 from ..core.configuration import SurfaceConfiguration
 from ..core.errors import ServiceError
@@ -159,6 +159,7 @@ class SurfaceOrchestrator:
         )
         self.scheduler = Scheduler()
         self.optimizer = optimizer or Adam(max_iterations=120)
+        self.optimizer.bind_telemetry(self.telemetry)
         self.grid_spacing_m = grid_spacing_m
         self.sensing_angles = sensing_angles
         self.rng = rng or np.random.default_rng(0)
@@ -472,6 +473,7 @@ class SurfaceOrchestrator:
 
         from .optimizers import panel_projection
 
+        forms = LinearFormCache(model, telemetry=self.telemetry)
         for round_index in range(rounds):
             for panel in optimizable:
                 sid = panel.panel_id
@@ -481,7 +483,7 @@ class SurfaceOrchestrator:
                     round=round_index,
                     tasks=len(contexts),
                 ) as span:
-                    form = model.linear_form(sid, coeffs())
+                    form = forms.linear_form(sid, coeffs())
                     amplitudes = panel.configuration.amplitudes.reshape(-1)
                     parts: List[Tuple[Objective, float]] = []
                     for ctx in contexts:
@@ -499,13 +501,13 @@ class SurfaceOrchestrator:
                     span.set(iterations=result.iterations, loss=result.loss)
                 self.telemetry.counter(
                     "orchestrator.objective_evaluations",
-                    result.iterations * len(contexts),
+                    result.evaluations * len(contexts),
                 )
                 if eval_counts is not None:
                     for ctx in contexts:
                         task_id = ctx.task.task_id
                         eval_counts[task_id] = (
-                            eval_counts.get(task_id, 0) + result.iterations
+                            eval_counts.get(task_id, 0) + result.evaluations
                         )
         return phases
 

@@ -7,6 +7,7 @@ Public API (stable):
 * :class:`TelemetrySnapshot`, :class:`SpanStats`,
   :class:`TelemetryEvent` — the read-side data model.
 * :func:`load_jsonl` / :func:`render_report` — offline report path.
+* :func:`span_self_times` / :func:`render_profile` — self-time profile.
 """
 
 from .core import (
@@ -17,7 +18,7 @@ from .core import (
     TelemetryEvent,
     TelemetrySnapshot,
 )
-from .report import load_jsonl, render_report
+from .report import load_jsonl, render_profile, render_report, span_self_times
 
 __all__ = [
     "NULL_SPAN",
@@ -27,5 +28,7 @@ __all__ = [
     "TelemetryEvent",
     "TelemetrySnapshot",
     "load_jsonl",
+    "render_profile",
     "render_report",
+    "span_self_times",
 ]

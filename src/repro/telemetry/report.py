@@ -76,6 +76,47 @@ def _aggregate_spans(
     return spans, snapshot
 
 
+def span_self_times(spans: Dict[str, SpanStats]) -> Dict[str, float]:
+    """Self wall-time per span path: total minus direct children's totals.
+
+    A span's direct children are the paths one ``/`` level below it.
+    Negative residues (clock skew between overlapping spans) clamp to
+    zero so profiles never show negative self-time.
+    """
+    out = {path: stats.wall_total_s for path, stats in spans.items()}
+    for path, stats in spans.items():
+        if "/" not in path:
+            continue
+        parent = path.rsplit("/", 1)[0]
+        if parent in out:
+            out[parent] -= stats.wall_total_s
+    return {path: max(0.0, t) for path, t in out.items()}
+
+
+def render_profile(spans: Dict[str, SpanStats], top: int = 10) -> str:
+    """Top-N spans by self wall-time, as a table (the ``--profile`` view)."""
+    if not spans:
+        return "(no spans recorded)"
+    self_times = span_self_times(spans)
+    total = sum(self_times.values()) or 1.0
+    ranked = sorted(self_times.items(), key=lambda kv: kv[1], reverse=True)
+    rows = [
+        (
+            path,
+            spans[path].count,
+            f"{self_s * 1e3:.2f}",
+            f"{spans[path].wall_total_s * 1e3:.2f}",
+            f"{100.0 * self_s / total:.1f}",
+        )
+        for path, self_s in ranked[: max(1, top)]
+    ]
+    return render_table(
+        ("span", "count", "self ms", "total ms", "self %"),
+        rows,
+        title=f"Profile: top {len(rows)} spans by self-time",
+    )
+
+
 def render_report(records: List[Dict[str, object]]) -> str:
     """Render a full human-readable report from exported records."""
     spans, snapshot = _aggregate_spans(records)

@@ -108,10 +108,40 @@ def test_invalidate_resets_cache(simulator, ap, bedroom_points, single_prog):
     simulator.build(ap, bedroom_points, [single_prog])
     assert simulator.cache_stats == (1, 1)
     simulator.invalidate()
-    # The next identical build must re-trace from scratch.
+    # Local stats restart; the next identical build re-traces from scratch.
+    assert simulator.cache_stats == (0, 0)
     simulator.build(ap, bedroom_points, [single_prog])
-    assert simulator.cache_stats == (1, 2)
+    assert simulator.cache_stats == (0, 1)
     assert simulator.telemetry.get_counter("channel.cache_invalidations") == 1
+    # The monotonic telemetry counters keep the full history.
+    assert simulator.telemetry.get_counter("channel.cache_misses") == 2
+
+
+def test_lru_evicts_oldest_entry(env, ap, single_prog):
+    sim = ChannelSimulator(env, FREQ, cache_size=2)
+    pts = [np.array([[6.0 + 0.1 * i, 2.0, 1.0]]) for i in range(3)]
+    for p in pts:
+        sim.build(ap, p, [single_prog])
+    assert sim.telemetry.get_counter("channel.cache_evictions") == 1
+    assert sim.telemetry.snapshot().gauges["channel.cache_size"] == 2
+    # Newest two still hit; the evicted oldest misses again.
+    sim.build(ap, pts[2], [single_prog])
+    sim.build(ap, pts[1], [single_prog])
+    assert sim.cache_stats == (2, 3)
+    sim.build(ap, pts[0], [single_prog])
+    assert sim.cache_stats == (2, 4)
+
+
+def test_stale_versions_purged_eagerly(env, ap, bedroom_points, single_prog):
+    sim = ChannelSimulator(env, FREQ)
+    sim.build(ap, bedroom_points, [single_prog])
+    env.add_dynamic_box(
+        "person", Box(vec3(6, 2, 0), vec3(6.5, 2.5, 1.8), HUMAN)
+    )
+    # The next build purges the stale-version entry before caching anew.
+    sim.build(ap, bedroom_points, [single_prog])
+    assert sim.telemetry.get_counter("channel.cache_stale_evictions") == 1
+    assert sim.telemetry.snapshot().gauges["channel.cache_size"] == 1
 
 
 def test_cache_stats_mirrored_in_telemetry(

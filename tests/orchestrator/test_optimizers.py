@@ -133,3 +133,83 @@ def test_random_search_deterministic_with_seed(rng):
     b = RandomSearch(seed=42, max_iterations=10).optimize(objective, np.zeros(6))
     assert np.allclose(a.phases, b.phases)
     assert a.loss == b.loss
+
+
+class CountingQuadratic(Quadratic):
+    """Quadratic that records how work arrives: batched or one-by-one."""
+
+    def __init__(self, target):
+        super().__init__(target)
+        self.batch_calls = 0
+        self.batch_rows = 0
+
+    def value_many(self, phases_batch):
+        batch = self._check_batch(phases_batch)
+        self.batch_calls += 1
+        self.batch_rows += batch.shape[0]
+        return np.array([self.value(row) for row in batch])
+
+
+def test_random_search_iteration_and_evaluation_accounting():
+    result = RandomSearch(max_iterations=12, population=6, seed=0).optimize(
+        Quadratic(np.ones(5)), np.zeros(5)
+    )
+    # The initial incumbent evaluation is history[0], not an iteration.
+    assert result.iterations == 12
+    assert len(result.history) == 13
+    assert result.evaluations == 1 + 12 * 6 + 1
+
+
+def test_annealing_iteration_and_evaluation_accounting():
+    result = SimulatedAnnealing(steps=30, speculation=8, seed=0).optimize(
+        Quadratic(np.ones(5)), np.zeros(5)
+    )
+    assert result.iterations == 30
+    assert len(result.history) == 31
+    # Speculation may evaluate proposals it then discards as stale, so
+    # the count covers at least every consumed step plus bookends.
+    assert result.evaluations >= 30 + 2
+
+
+def test_gradient_optimizers_report_evaluations(rng):
+    result = GradientDescent(learning_rate=0.1, max_iterations=50).optimize(
+        Quadratic(rng.normal(size=4)), np.zeros(4)
+    )
+    assert result.evaluations == len(result.history) + 1
+
+
+def test_population_routed_through_value_many():
+    objective = CountingQuadratic(np.ones(4))
+    RandomSearch(max_iterations=5, population=7, seed=0).optimize(
+        objective, np.zeros(4)
+    )
+    assert objective.batch_calls == 5
+    assert objective.batch_rows == 5 * 7
+
+    objective = CountingQuadratic(np.ones(4))
+    SimulatedAnnealing(steps=16, speculation=4, seed=0).optimize(
+        objective, np.zeros(4)
+    )
+    assert objective.batch_calls >= 4
+    assert objective.batch_rows >= 16
+
+
+def test_bound_telemetry_counts_objective_evaluations():
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry()
+    optimizer = RandomSearch(max_iterations=4, population=5, seed=0)
+    optimizer.bind_telemetry(telemetry)
+    result = optimizer.optimize(Quadratic(np.ones(3)), np.zeros(3))
+    counted = telemetry.get_counter("optimizer.objective_evaluations")
+    assert counted == result.evaluations == 1 + 4 * 5 + 1
+
+
+def test_value_many_matches_value_on_channel_objective(rng):
+    objective = focusing_objective(rng)
+    batch = rng.uniform(0, 2 * np.pi, (5, objective.dim))
+    np.testing.assert_allclose(
+        objective.value_many(batch),
+        [objective.value(row) for row in batch],
+        atol=1e-9,
+    )
