@@ -12,12 +12,17 @@ Usage::
     python -m repro.cli plan --room bedroom --target-snr 20
     python -m repro.cli trace --jsonl /tmp/trace.jsonl
     python -m repro.cli trace --report /tmp/trace.jsonl
+    python -m repro.cli faults --seed 7 --jsonl /tmp/faults.jsonl
     python -m repro.cli info
 
 Every experiment prints the same rendering its benchmark asserts on.
 ``trace`` runs one orchestrated pass on the two-room apartment and
 prints the telemetry summary (optionally exporting the raw event log
 as JSON lines); ``trace --report`` renders a previously exported file.
+``faults`` runs the degraded-mode recovery scenario (two of five panels
+die mid-run); its ``--jsonl`` export strips wall-clock fields, so two
+runs with the same seed produce byte-identical files — CI diffs them to
+catch nondeterminism.
 """
 
 from __future__ import annotations
@@ -35,7 +40,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print("Paper: SurfOS: Towards an Operating System for Programmable")
     print("       Radio Environments (HotNets '24)")
     print(f"Known surface designs: {', '.join(list_designs())}")
-    print("Experiments: table1, fig2, fig4, fig5, fig6 (see DESIGN.md)")
+    print("Experiments: table1, fig2, fig4, fig5, fig6, faults (see DESIGN.md)")
     return 0
 
 
@@ -204,6 +209,26 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from .experiments import degradation
+
+    system = degradation.build_system(
+        seed=args.seed, panel_size=args.panels
+    )
+    result = degradation.run(
+        seed=args.seed,
+        kill=tuple(args.kill),
+        panel_size=args.panels,
+        system=system,
+    )
+    print(result.render())
+    if args.jsonl:
+        system.telemetry.export_jsonl(args.jsonl, sim_only=True)
+        print(f"\nsim-only event log written to {args.jsonl}")
+    ok = result.recovered_within_bound and result.reoptimize_failures == 0
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -284,6 +309,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the top-N telemetry spans by self-time (default 10)",
     )
     trace.set_defaults(fn=_cmd_trace)
+
+    faults = sub.add_parser(
+        "faults",
+        help="degraded-mode recovery scenario (panels die mid-run)",
+    )
+    faults.add_argument(
+        "--seed", type=int, default=0, help="fault-injection seed"
+    )
+    faults.add_argument(
+        "--panels",
+        type=int,
+        default=10,
+        metavar="N",
+        help="elements per panel side (default 10)",
+    )
+    faults.add_argument(
+        "--kill",
+        nargs="+",
+        default=["rs-2", "rs-4"],
+        metavar="ID",
+        help="panel ids to kill mid-run (default rs-2 rs-4)",
+    )
+    faults.add_argument(
+        "--jsonl",
+        metavar="FILE",
+        help="export the sim-only (wall-clock-free) event log",
+    )
+    faults.set_defaults(fn=_cmd_faults)
     return parser
 
 

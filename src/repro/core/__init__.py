@@ -13,15 +13,18 @@ from .errors import (
     ConfigurationError,
     DriverError,
     HardwareError,
+    HardwareTimeoutError,
     OptimizationError,
     OrchestrationError,
     SchedulingError,
     ServiceError,
     SimulationError,
     SurfOSError,
+    TransientHardwareError,
     TranslationError,
     UnknownDeviceError,
 )
+from .operations import OperationResult, OperationStatus
 from . import units
 
 __all__ = [
@@ -31,6 +34,9 @@ __all__ = [
     "DriverError",
     "Granularity",
     "HardwareError",
+    "HardwareTimeoutError",
+    "OperationResult",
+    "OperationStatus",
     "OptimizationError",
     "OrchestrationError",
     "SchedulingError",
@@ -38,6 +44,7 @@ __all__ = [
     "SimulationError",
     "SurfOSError",
     "SurfaceConfiguration",
+    "TransientHardwareError",
     "TranslationError",
     "UnknownDeviceError",
     "quantize_phase",

@@ -38,6 +38,19 @@ class DriverError(HardwareError):
     """A driver failed to apply an operation to its surface."""
 
 
+class TransientHardwareError(HardwareError):
+    """A hardware operation failed in a retryable way.
+
+    Raised when the control link to a surface drops a write or the
+    surface NACKs transiently; the hardware manager retries these with
+    exponential backoff before giving up.
+    """
+
+
+class HardwareTimeoutError(TransientHardwareError):
+    """A hardware operation timed out waiting for the control link."""
+
+
 class UnknownDeviceError(HardwareError):
     """A device id was not found in the hardware registry."""
 

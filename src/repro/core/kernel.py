@@ -45,6 +45,11 @@ class SurfOS:
     One :class:`~repro.telemetry.Telemetry` instance is threaded
     through every layer (hardware manager, channel simulator,
     orchestrator, daemon, broker) and exposed as ``surfos.telemetry``.
+
+    Pass ``fault_injector`` (a :class:`~repro.faults.FaultInjector`) to
+    exercise hardware failures; the daemon then reacts to surface
+    degradation exactly like it reacts to motion.  Without one, no
+    fault code runs at all.
     """
 
     def __init__(
@@ -55,11 +60,14 @@ class SurfOS:
         optimizer: Optional[Optimizer] = None,
         grid_spacing_m: float = 0.7,
         telemetry: Optional[Telemetry] = None,
+        fault_injector=None,
     ):
         self.env = env
         self.frequency_hz = frequency_hz
         self.telemetry = telemetry or Telemetry()
-        self.hardware = HardwareManager(telemetry=self.telemetry)
+        self.hardware = HardwareManager(
+            telemetry=self.telemetry, fault_injector=fault_injector
+        )
         self.llm = llm or MockLLM()
         self._optimizer = optimizer
         self._grid_spacing = grid_spacing_m

@@ -1,5 +1,6 @@
 """Surface drivers: the hardware manager's unified write primitives."""
 
+from ..core.operations import OperationResult, OperationStatus
 from .amplitude import AmplitudeDriver
 from .base import FeedbackReport, PassiveDriver, SurfaceDriver
 from .frequency import FrequencySelectiveDriver, OFF_RESONANCE_AMPLITUDE
@@ -11,6 +12,8 @@ __all__ = [
     "FeedbackReport",
     "FrequencySelectiveDriver",
     "OFF_RESONANCE_AMPLITUDE",
+    "OperationResult",
+    "OperationStatus",
     "PassiveDriver",
     "PassivePhaseDriver",
     "PolarizationDriver",

@@ -11,6 +11,7 @@ import numpy as np
 from ..core.configuration import SurfaceConfiguration
 from ..core.errors import ConfigurationError
 from ..surfaces.specs import SignalProperty
+from ..core.operations import OperationResult
 from .base import SurfaceDriver
 
 
@@ -39,7 +40,7 @@ class AmplitudeDriver(SurfaceDriver):
         mask: np.ndarray,
         now: float = 0.0,
         name: str = "mask",
-    ) -> float:
+    ) -> OperationResult:
         """The paper's ``set_amplitude()`` primitive: queue an on/off mask."""
         mask = np.asarray(mask, dtype=float)
         config = SurfaceConfiguration(

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.configuration import SurfaceConfiguration
 from ..core.errors import CapabilityError, ConfigurationError, DriverError
+from ..core.operations import OperationResult, OperationStatus, as_sim_time
 from ..surfaces.panel import SurfacePanel
 from ..surfaces.specs import SignalProperty, SurfaceSpec
 
@@ -139,13 +140,15 @@ class SurfaceDriver:
         config: SurfaceConfiguration,
         now: float = 0.0,
         activate: bool = True,
-    ) -> float:
-        """Queue a codebook write; returns the time it becomes live.
+    ) -> OperationResult:
+        """Queue a codebook write; returns its :class:`OperationResult`.
 
-        The write lands after the hardware's control delay.  When
-        ``activate`` is false the entry is stored without switching the
-        live configuration (pre-loading a beam codebook).
+        The write lands after the hardware's control delay
+        (``result.ready_at``).  When ``activate`` is false the entry is
+        stored without switching the live configuration (pre-loading a
+        beam codebook).
         """
+        now = as_sim_time(now)
         self._check_reconfigurable()
         self.validate(config)
         if (
@@ -165,21 +168,33 @@ class SurfaceDriver:
                 activate=activate,
             )
         )
-        return ready_at
+        return OperationResult(
+            status=OperationStatus.OK,
+            operation="push",
+            surface_id=self.surface_id,
+            latency_s=ready_at - now,
+            ready_at=ready_at,
+        )
 
-    def commit(self, now: float) -> int:
+    def commit(self, now: float) -> OperationResult:
         """Apply every queued write whose control delay has elapsed.
 
-        Returns the number of writes applied.  Called by the hardware
-        manager's clock tick.
+        ``result.applied`` counts the writes applied.  Called by the
+        hardware manager's clock tick.
         """
+        now = as_sim_time(now)
         ready = [u for u in self._pending if u.ready_at <= now]
         self._pending = [u for u in self._pending if u.ready_at > now]
         for update in sorted(ready, key=lambda u: u.ready_at):
             self._codebook[update.name] = update.configuration
             if update.activate:
                 self._activate(update.name)
-        return len(ready)
+        return OperationResult(
+            status=OperationStatus.OK,
+            operation="commit",
+            surface_id=self.surface_id,
+            applied=len(ready),
+        )
 
     def pending_count(self) -> int:
         """Writes still in flight."""
@@ -221,6 +236,11 @@ class SurfaceDriver:
             return None
         best = max(known, key=lambda name: known[name])
         if best != self._active_name:
+            # Route the stored entry back through validate() before it
+            # actuates: a codebook entry may predate a spec change (or
+            # have been injected around push), and silently activating
+            # one the panel cannot express corrupts the data plane.
+            self.validate(self.get_configuration(best))
             self._activate(best)
         return best
 
@@ -241,8 +261,12 @@ class PassiveDriver(SurfaceDriver):
         """Whether the one-time configuration has been committed."""
         return self._fabricated
 
-    def fabricate(self, config: SurfaceConfiguration) -> SurfaceConfiguration:
-        """Fix the configuration permanently (fabrication time)."""
+    def fabricate(self, config: SurfaceConfiguration) -> OperationResult:
+        """Fix the configuration permanently (fabrication time).
+
+        ``result.configuration`` holds the projected configuration the
+        hardware actually took.
+        """
         if self._fabricated:
             raise CapabilityError(
                 f"{self.surface_id}: already fabricated; passive surfaces "
@@ -253,4 +277,9 @@ class PassiveDriver(SurfaceDriver):
         self._codebook = {"fabricated": applied}
         self._active_name = "fabricated"
         self._fabricated = True
-        return applied
+        return OperationResult(
+            status=OperationStatus.OK,
+            operation="fabricate",
+            surface_id=self.surface_id,
+            configuration=applied,
+        )

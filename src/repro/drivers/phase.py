@@ -17,6 +17,7 @@ from ..core.configuration import SurfaceConfiguration
 from ..em.steering import beam_codebook_targets, focus_configuration
 from ..surfaces.panel import SurfacePanel
 from ..surfaces.specs import SignalProperty
+from ..core.operations import OperationResult
 from .base import PassiveDriver, SurfaceDriver
 
 
@@ -30,7 +31,7 @@ class ProgrammablePhaseDriver(SurfaceDriver):
         config: SurfaceConfiguration,
         now: float = 0.0,
         name: str = "live",
-    ) -> float:
+    ) -> OperationResult:
         """The paper's ``shift_phase()`` primitive: queue a phase write."""
         return self.push_configuration(name, config, now=now, activate=True)
 
@@ -91,7 +92,7 @@ class PassivePhaseDriver(PassiveDriver):
         source: Sequence[float],
         target: Sequence[float],
         frequency_hz: float,
-    ) -> SurfaceConfiguration:
+    ) -> OperationResult:
         """Fabricate the one-time configuration as a focus profile."""
         cfg = focus_configuration(
             self.panel.element_positions(),

@@ -13,6 +13,7 @@ import numpy as np
 
 from ..core.configuration import SurfaceConfiguration
 from ..surfaces.specs import SignalProperty
+from ..core.operations import OperationResult
 from .base import SurfaceDriver
 
 
@@ -26,7 +27,7 @@ class PolarizationDriver(SurfaceDriver):
         rotation_angles: np.ndarray,
         now: float = 0.0,
         name: str = "polarization",
-    ) -> float:
+    ) -> OperationResult:
         """Queue per-element polarization rotation angles (radians)."""
         angles = np.asarray(rotation_angles, dtype=float).reshape(
             self.panel.shape
@@ -55,7 +56,9 @@ class PolarizationDriver(SurfaceDriver):
             name=f"pol-effective@{receiver_polarization_rad:.3f}",
         )
 
-    def align_to(self, receiver_polarization_rad: float, now: float = 0.0) -> float:
+    def align_to(
+        self, receiver_polarization_rad: float, now: float = 0.0
+    ) -> OperationResult:
         """Rotate every element to match a receiver's polarization."""
         angles = np.full(self.panel.shape, receiver_polarization_rad)
         return self.set_polarizations(angles, now=now, name="aligned")

@@ -1,0 +1,34 @@
+"""repro.faults — deterministic fault injection for the control plane.
+
+Public API (stable):
+
+* :class:`FaultInjector` — seeded, time-driven injection engine.
+* Fault specs: :class:`ElementFailure`, :class:`PanelDeath`,
+  :class:`PhaseDrift`, :class:`ControlLinkFault`.
+* :class:`InjectedFault` — activation records for telemetry/tests.
+
+Attach an injector to a deployment via
+:meth:`HardwareManager.attach_faults` (or the ``fault_injector``
+argument of :class:`~repro.core.kernel.SurfOS`); with none attached the
+stack's behavior is bit-identical to the fault-free build.
+"""
+
+from .injector import FaultInjector
+from .models import (
+    ControlLinkFault,
+    ElementFailure,
+    FaultSpec,
+    InjectedFault,
+    PanelDeath,
+    PhaseDrift,
+)
+
+__all__ = [
+    "ControlLinkFault",
+    "ElementFailure",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "PanelDeath",
+    "PhaseDrift",
+]

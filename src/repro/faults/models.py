@@ -1,0 +1,139 @@
+"""Deterministic fault models for programmable-surface deployments.
+
+The models capture the failure classes that dominate real metasurface
+deployments (Saeed et al., *Workload Characterization of Programmable
+Metasurfaces*): element-level failures on cheap panels, whole-panel
+death, analog phase drift, and a lossy/laggy control channel between
+the hardware manager and the panels' microcontrollers.
+
+Every model is a frozen spec — *what* fails, *when*, and *how hard* —
+with no randomness of its own.  The :class:`~repro.faults.FaultInjector`
+turns specs into element masks, drift offsets, and link outcomes using
+seeded, per-surface RNG streams, so the same seed always produces the
+same failures at the same times.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Base fault spec: which surface, starting when.
+
+    Attributes:
+        surface_id: the afflicted surface.
+        at_time: simulated time the fault activates (seconds).
+    """
+
+    surface_id: str
+    at_time: float = 0.0
+
+    @property
+    def kind(self) -> str:
+        """Short machine-readable fault-class name."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class ElementFailure(FaultSpec):
+    """A random subset of elements fails at ``at_time``.
+
+    Attributes:
+        fraction: fraction of elements afflicted, in (0, 1].
+        mode: ``"dead"`` — elements stop re-radiating (amplitude 0) —
+            or ``"stuck"`` — elements freeze at the phase they held
+            when the fault hit (a stuck varactor/PIN bias line).
+    """
+
+    fraction: float = 0.05
+    mode: str = "dead"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(f"fraction must lie in (0, 1], got {self.fraction}")
+        if self.mode not in ("dead", "stuck"):
+            raise ValueError(f"mode must be 'dead' or 'stuck', got {self.mode!r}")
+
+
+@dataclass(frozen=True)
+class PanelDeath(FaultSpec):
+    """The whole panel dies at ``at_time``: every element goes dark.
+
+    Models power loss or a bricked controller; the sheet is still
+    physically mounted but scatters nothing coherently (amplitude 0).
+    """
+
+
+@dataclass(frozen=True)
+class PhaseDrift(FaultSpec):
+    """Analog phase drift: a per-element random walk from ``at_time``.
+
+    Element phases accumulate zero-mean Gaussian steps with standard
+    deviation ``sigma_rad_per_sqrt_s * sqrt(dt)`` per advance of ``dt``
+    simulated seconds — thermal drift on cheap varactor panels.
+    """
+
+    sigma_rad_per_sqrt_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.sigma_rad_per_sqrt_s <= 0.0:
+            raise ValueError("sigma_rad_per_sqrt_s must be positive")
+
+
+@dataclass(frozen=True)
+class ControlLinkFault(FaultSpec):
+    """A lossy/laggy control link to one surface from ``at_time``.
+
+    Each control-plane attempt independently (but deterministically,
+    per seed) either succeeds after ``extra_delay_s`` of link lag,
+    drops (raising :class:`~repro.core.errors.TransientHardwareError`),
+    or times out (raising
+    :class:`~repro.core.errors.HardwareTimeoutError` after
+    ``timeout_s``).
+
+    Attributes:
+        drop_probability: chance an attempt is dropped outright.
+        timeout_probability: chance an attempt times out instead.
+        extra_delay_s: added latency on *successful* attempts.
+        timeout_s: simulated time burned by a timed-out attempt.
+        until: deactivation time (defaults to forever).
+    """
+
+    drop_probability: float = 0.2
+    timeout_probability: float = 0.0
+    extra_delay_s: float = 0.0
+    timeout_s: float = 0.1
+    until: float = math.inf
+
+    def __post_init__(self) -> None:
+        total = self.drop_probability + self.timeout_probability
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise ValueError("drop_probability must lie in [0, 1]")
+        if not 0.0 <= self.timeout_probability <= 1.0:
+            raise ValueError("timeout_probability must lie in [0, 1]")
+        if total > 1.0:
+            raise ValueError("drop + timeout probability exceeds 1")
+        if self.extra_delay_s < 0.0 or self.timeout_s < 0.0:
+            raise ValueError("link delays must be non-negative")
+        if self.until <= self.at_time:
+            raise ValueError("link fault must end after it starts")
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One fault activation, as reported by the injector.
+
+    Attributes:
+        kind: fault-class name (``"PanelDeath"``, …).
+        surface_id: the afflicted surface.
+        time: simulated activation time.
+        detail: human-readable specifics (elements hit, sigma, …).
+    """
+
+    kind: str
+    surface_id: str
+    time: float
+    detail: str = ""

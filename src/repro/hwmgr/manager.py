@@ -3,11 +3,20 @@
 The manager owns every driver and non-surface device in the deployment
 and is the *only* path upper layers use to touch hardware.  It exposes:
 
-* registration/lookup for surfaces (via drivers), APs, clients, sensors;
+* registration/lookup for surfaces (via drivers), APs, clients, sensors
+  — with symmetric ``register_*``/``unregister_*`` pairs;
 * unified configuration writes that fan out through drivers, with the
-  control delay accounted against a simulated clock;
+  control delay accounted against a simulated clock; every write verb
+  returns an :class:`~repro.core.operations.OperationResult`;
+* health tracking per surface: transient push failures are retried
+  with exponential backoff + deterministic jitter, repeat offenders are
+  quarantined, and degradations are reported upward through
+  :attr:`HardwareManager.on_degraded`;
 * a specification table for the orchestrator's modeling;
 * feedback routing from endpoints to the drivers' local selection.
+
+Attach a :class:`~repro.faults.FaultInjector` to exercise the failure
+paths; with none attached (the default) no fault code runs at all.
 """
 
 from __future__ import annotations
@@ -15,7 +24,8 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterable, List, Mapping, Optional
 
 from ..core.configuration import SurfaceConfiguration
-from ..core.errors import UnknownDeviceError
+from ..core.errors import TransientHardwareError, UnknownDeviceError
+from ..core.operations import OperationResult, OperationStatus, as_sim_time
 from ..drivers.base import FeedbackReport, PassiveDriver, SurfaceDriver
 from ..drivers.amplitude import AmplitudeDriver
 from ..drivers.frequency import FrequencySelectiveDriver
@@ -25,6 +35,7 @@ from ..surfaces.panel import SurfacePanel
 from ..surfaces.specs import SignalProperty, SurfaceSpec
 from ..telemetry import Telemetry
 from .devices import AccessPoint, ClientDevice, Sensor
+from .health import HealthStatus, RetryPolicy, SurfaceHealth
 
 
 def driver_for_panel(panel: SurfacePanel) -> SurfaceDriver:
@@ -56,14 +67,38 @@ class HardwareManager:
         telemetry: where push/commit latency accounting goes; the
             kernel passes its shared instance so the whole stack
             reports into one place.
+        fault_injector: optional :class:`~repro.faults.FaultInjector`
+            exercising element/panel/link failures.
+        retry_policy: backoff/quarantine tuning for transient push
+            failures.
     """
 
-    def __init__(self, telemetry: Optional[Telemetry] = None) -> None:
+    def __init__(
+        self,
+        telemetry: Optional[Telemetry] = None,
+        fault_injector=None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
         self.telemetry = telemetry or Telemetry()
         self._drivers: Dict[str, SurfaceDriver] = {}
         self._aps: Dict[str, AccessPoint] = {}
         self._clients: Dict[str, ClientDevice] = {}
         self._sensors: Dict[str, Sensor] = {}
+        self._health: Dict[str, SurfaceHealth] = {}
+        self.retry_policy = retry_policy or RetryPolicy()
+        self._retry_rng = self.retry_policy.make_rng()
+        #: Hook called as ``on_degraded(surface_id, reason)`` whenever a
+        #: surface is quarantined, dies, or loses elements.  The runtime
+        #: daemon wires this to a :class:`SurfaceDegraded` bus event.
+        self.on_degraded: Optional[Callable[[str, str], None]] = None
+        self.faults = None
+        if fault_injector is not None:
+            self.attach_faults(fault_injector)
+
+    def attach_faults(self, injector) -> None:
+        """Attach a fault injector; its accounting joins this telemetry."""
+        injector.telemetry = self.telemetry
+        self.faults = injector
 
     # ------------------------------------------------------------------
     # registration
@@ -81,6 +116,7 @@ class HardwareManager:
             )
         driver = driver or driver_for_panel(panel)
         self._drivers[panel.panel_id] = driver
+        self._health[panel.panel_id] = SurfaceHealth(panel.panel_id)
         return driver
 
     def unregister_surface(self, surface_id: str) -> None:
@@ -88,6 +124,25 @@ class HardwareManager:
         if surface_id not in self._drivers:
             raise UnknownDeviceError(f"unknown surface {surface_id!r}")
         del self._drivers[surface_id]
+        self._health.pop(surface_id, None)
+
+    def unregister_access_point(self, ap_id: str) -> None:
+        """Remove an AP/base station from management."""
+        if ap_id not in self._aps:
+            raise UnknownDeviceError(f"unknown AP {ap_id!r}")
+        del self._aps[ap_id]
+
+    def unregister_client(self, client_id: str) -> None:
+        """Remove an end-user device from management."""
+        if client_id not in self._clients:
+            raise UnknownDeviceError(f"unknown client {client_id!r}")
+        del self._clients[client_id]
+
+    def unregister_sensor(self, sensor_id: str) -> None:
+        """Remove an external sensor from management."""
+        if sensor_id not in self._sensors:
+            raise UnknownDeviceError(f"unknown sensor {sensor_id!r}")
+        del self._sensors[sensor_id]
 
     def register_access_point(self, ap: AccessPoint) -> AccessPoint:
         """Register an AP/base station."""
@@ -170,6 +225,104 @@ class HardwareManager:
             raise UnknownDeviceError(f"unknown sensor {sensor_id!r}") from None
 
     # ------------------------------------------------------------------
+    # health
+    # ------------------------------------------------------------------
+
+    def health(self, surface_id: str) -> SurfaceHealth:
+        """One surface's health record."""
+        self.driver(surface_id)  # raises UnknownDeviceError consistently
+        return self._health[surface_id]
+
+    def health_report(self) -> Dict[str, SurfaceHealth]:
+        """Health records for every surface, keyed by id."""
+        return {sid: self._health[sid] for sid in sorted(self._drivers)}
+
+    def operational_panels(self) -> List[SurfacePanel]:
+        """Panels still taking control-plane writes, sorted by id.
+
+        Excludes quarantined and dead surfaces — the set the
+        orchestrator may optimize and push to.  (Dead panels stay in
+        :meth:`panels` because they remain physically mounted.)
+        """
+        return [
+            self._drivers[sid].panel
+            for sid in sorted(self._drivers)
+            if self._health[sid].operational
+        ]
+
+    def quarantine(self, surface_id: str, reason: str = "operator") -> None:
+        """Force a surface out of service."""
+        health = self.health(surface_id)
+        if health.status is not HealthStatus.QUARANTINED:
+            health.status = HealthStatus.QUARANTINED
+            self.telemetry.counter("hwmgr.quarantined")
+            self._notify_degraded(surface_id, reason)
+
+    def reinstate(self, surface_id: str) -> None:
+        """Put a quarantined surface back in service."""
+        self.health(surface_id).reinstate()
+
+    def _notify_degraded(self, surface_id: str, reason: str) -> None:
+        self.telemetry.event(
+            "hwmgr.degraded", surface=surface_id, reason=reason
+        )
+        if self.on_degraded is not None:
+            self.on_degraded(surface_id, reason)
+
+    # ------------------------------------------------------------------
+    # fault clock tick
+    # ------------------------------------------------------------------
+
+    def tick_faults(self, now: float) -> List[object]:
+        """Advance the fault injector and apply data-plane corruption.
+
+        Called from the runtime clock (the daemon's step).  Newly
+        activated faults update health records and fire
+        :attr:`on_degraded`; element-level impairments are re-applied
+        to the afflicted panels' live configurations so the channel
+        model sees the sick hardware.  No-op without an injector.
+        """
+        if self.faults is None:
+            return []
+        panels = {sid: d.panel for sid, d in self._drivers.items()}
+        injected = self.faults.advance(now, panels)
+        for fault in injected:
+            health = self._health.get(fault.surface_id)
+            if health is None:
+                continue
+            if fault.kind == "PanelDeath":
+                health.mark_dead()
+                self._notify_degraded(fault.surface_id, "panel-dead")
+            elif fault.kind in ("ElementFailure", "PhaseDrift"):
+                health.mark_degraded()
+                self._notify_degraded(
+                    fault.surface_id, fault.kind.lower()
+                )
+            # ControlLinkFault degrades nothing by itself; the retry
+            # loop discovers it and quarantines repeat offenders.
+        for sid in self.faults.impaired_surfaces():
+            self._recorrupt(sid)
+        return injected
+
+    def _recorrupt(self, surface_id: str) -> None:
+        """Re-apply element impairments on top of the intended config."""
+        driver = self._drivers.get(surface_id)
+        if driver is None:
+            return
+        intended = self._intended_configuration(driver)
+        driver.panel.impair(
+            self.faults.corrupt(surface_id, driver.panel.feasible(intended))
+        )
+
+    @staticmethod
+    def _intended_configuration(driver: SurfaceDriver) -> SurfaceConfiguration:
+        """The clean configuration the control plane believes is live."""
+        name = driver.active_configuration_name
+        if name is not None:
+            return driver.get_configuration(name)
+        return driver.panel.configuration
+
+    # ------------------------------------------------------------------
     # unified operations
     # ------------------------------------------------------------------
 
@@ -184,24 +337,109 @@ class HardwareManager:
         now: float = 0.0,
         name: str = "live",
         activate: bool = True,
-    ) -> float:
-        """Queue a configuration write; returns the live time."""
-        ready_at = self.driver(surface_id).push_configuration(
-            name, config, now=now, activate=activate
+    ) -> OperationResult:
+        """Queue a configuration write; returns an :class:`OperationResult`.
+
+        Writes to quarantined/dead surfaces are refused (``REJECTED``).
+        Transient control-link failures are retried up to
+        ``retry_policy.max_attempts`` times with exponential backoff and
+        deterministic jitter; exhausting the retries records a failure
+        against the surface's health and may trip quarantine.
+
+        The result's ``ready_at`` still behaves as the legacy float for
+        one release (``OperationResult.__float__``).
+        """
+        now = as_sim_time(now)
+        driver = self.driver(surface_id)
+        health = self._health[surface_id]
+        if not health.operational:
+            return OperationResult(
+                status=OperationStatus.REJECTED,
+                operation="push",
+                surface_id=surface_id,
+                attempts=0,
+                error=(
+                    f"surface {surface_id!r} is {health.status.value}; "
+                    "write refused"
+                ),
+            )
+        attempt_at = now
+        last_error: Optional[str] = None
+        for attempt in range(1, self.retry_policy.max_attempts + 1):
+            try:
+                extra_delay_s = 0.0
+                if self.faults is not None:
+                    extra_delay_s = self.faults.link_attempt(
+                        surface_id, attempt_at
+                    )
+                pushed = driver.push_configuration(
+                    name,
+                    config,
+                    now=attempt_at + extra_delay_s,
+                    activate=activate,
+                )
+            except TransientHardwareError as exc:
+                last_error = str(exc)
+                attempt_at += getattr(exc, "timeout_s", 0.0)
+                if attempt < self.retry_policy.max_attempts:
+                    health.retries += 1
+                    self.telemetry.counter("hwmgr.retries")
+                    backoff_s = self.retry_policy.backoff_s(
+                        attempt, self._retry_rng
+                    )
+                    self.telemetry.event(
+                        "hwmgr.retry",
+                        surface=surface_id,
+                        attempt=attempt,
+                        backoff_s=backoff_s,
+                        error=last_error,
+                    )
+                    attempt_at += backoff_s
+                continue
+            health.record_success()
+            delay_s = pushed.ready_at - now
+            self.telemetry.counter("hw.pushes")
+            self.telemetry.counter("hw.push_delay_total_s", delay_s)
+            self.telemetry.gauge("hw.last_push_delay_s", delay_s)
+            return OperationResult(
+                status=(
+                    OperationStatus.OK
+                    if attempt == 1
+                    else OperationStatus.RETRIED
+                ),
+                operation="push",
+                surface_id=surface_id,
+                attempts=attempt,
+                latency_s=delay_s,
+                ready_at=pushed.ready_at,
+            )
+        tripped = health.record_failure(
+            last_error or "push failed",
+            attempt_at,
+            self.retry_policy.quarantine_after,
         )
-        self.telemetry.counter("hw.pushes")
-        self.telemetry.counter("hw.push_delay_total_s", ready_at - now)
-        self.telemetry.gauge("hw.last_push_delay_s", ready_at - now)
-        return ready_at
+        self.telemetry.counter("hwmgr.push_failures")
+        if tripped:
+            self.telemetry.counter("hwmgr.quarantined")
+            self._notify_degraded(surface_id, "quarantined")
+        return OperationResult(
+            status=OperationStatus.FAILED,
+            operation="push",
+            surface_id=surface_id,
+            attempts=self.retry_policy.max_attempts,
+            latency_s=attempt_at - now,
+            error=last_error,
+        )
 
     def fabricate(
         self, surface_id: str, config: SurfaceConfiguration
-    ) -> SurfaceConfiguration:
+    ) -> OperationResult:
         """Permanently fix a passive surface's configuration.
 
         The unified path for one-time-programmable hardware; raises
         :class:`UnknownDeviceError` when the surface's driver is not
-        passive.
+        passive.  The result's ``configuration`` holds the fabricated
+        (feasibility-projected) state.
         """
         driver = self.driver(surface_id)
         if not isinstance(driver, PassiveDriver):
@@ -209,18 +447,36 @@ class HardwareManager:
                 f"surface {surface_id!r} is reconfigurable; "
                 "use push_configuration() instead of fabricate()"
             )
-        applied = driver.fabricate(config)
+        result = driver.fabricate(config)
         self.telemetry.counter("hw.fabrications")
-        return applied
+        return result
 
-    def commit_all(self, now: float) -> int:
-        """Apply every in-flight write whose control delay elapsed."""
+    def commit_all(self, now: float) -> OperationResult:
+        """Apply every in-flight write whose control delay elapsed.
+
+        Returns an aggregate :class:`OperationResult` whose ``applied``
+        counts activations across all drivers (and which still compares
+        as that integer for one release).
+        """
+        now = as_sim_time(now)
         with self.telemetry.span("hw-commit") as span:
-            applied = sum(d.commit(now) for d in self._drivers.values())
+            applied = sum(
+                int(d.commit(now).applied) for d in self._drivers.values()
+            )
             span.set(applied=applied)
         if applied:
             self.telemetry.counter("hw.commits_applied", applied)
-        return applied
+            if self.faults is not None:
+                # A commit actuates the clean intent; sick hardware
+                # immediately re-expresses its impairments.
+                for sid in self.faults.impaired_surfaces():
+                    self._recorrupt(sid)
+        return OperationResult(
+            status=OperationStatus.OK,
+            operation="commit",
+            surface_id="*",
+            applied=applied,
+        )
 
     def pending_total(self) -> int:
         """Writes still in flight across all drivers."""

@@ -194,10 +194,14 @@ class SurfaceOrchestrator:
         weight: float,
         **slice_kwargs,
     ) -> ServiceTask:
-        panels = self.hardware.panels()
+        # Slices are proposed over *operational* surfaces only:
+        # quarantined and dead panels cannot serve new work.
+        panels = self.hardware.operational_panels()
         if not panels:
-            task.transition(TaskState.FAILED, reason="no surfaces registered")
-            raise ServiceError("no surfaces registered with the hardware manager")
+            task.transition(TaskState.FAILED, reason="no operational surfaces")
+            raise ServiceError(
+                "no operational surfaces registered with the hardware manager"
+            )
         slices = propose_slices(
             task, panels, strategy, target_points=points, **slice_kwargs
         )
@@ -433,8 +437,13 @@ class SurfaceOrchestrator:
         )
 
     def _optimizable_panels(self) -> List[SurfacePanel]:
+        operational = {
+            p.panel_id for p in self.hardware.operational_panels()
+        }
         panels = []
         for panel in self.hardware.panels():
+            if panel.panel_id not in operational:
+                continue  # quarantined or dead: masked out of optimization
             driver = self.hardware.driver(panel.panel_id)
             if isinstance(driver, PassiveDriver) and driver.fabricated:
                 continue  # fixed forever
@@ -572,7 +581,8 @@ class SurfaceOrchestrator:
             optimizable = self._optimizable_panels()
             if not optimizable:
                 raise ServiceError(
-                    "every surface is passive and already fabricated"
+                    "no optimizable surfaces: every panel is either "
+                    "passive-and-fabricated, quarantined, or dead"
                 )
 
             joint_contexts = [c for c in contexts if self._is_joint(c)]
@@ -649,8 +659,13 @@ class SurfaceOrchestrator:
     ) -> float:
         """Queue all configurations through the hardware manager.
 
-        Returns the control-delay settle time paid before commit.
+        Push failures (link faults that exhaust retries, quarantine
+        rejections) degrade service on that surface but never abort the
+        whole reoptimization — the other surfaces still get their
+        updates.  Returns the control-delay settle time paid before
+        commit.
         """
+        failed = 0
         for panel in optimizable:
             sid = panel.panel_id
             driver = self.hardware.driver(sid)
@@ -664,16 +679,18 @@ class SurfaceOrchestrator:
                     self.hardware.fabricate(sid, config)
                 continue
             if sid in joint_configs:
-                self.hardware.push_configuration(
+                result = self.hardware.push_configuration(
                     sid,
                     joint_configs[sid],
                     now=self.clock_now,
                     name="orchestrated",
                 )
+                if not result.ok:
+                    failed += 1
             for slot_index, (task_id, entry) in enumerate(
                 slot_configs.items()
             ):
-                self.hardware.push_configuration(
+                result = self.hardware.push_configuration(
                     sid,
                     entry[sid],
                     now=self.clock_now,
@@ -681,6 +698,10 @@ class SurfaceOrchestrator:
                     # Without a joint config the first slot goes live.
                     activate=(not have_joint and slot_index == 0),
                 )
+                if not result.ok:
+                    failed += 1
+        if failed:
+            self.telemetry.counter("orchestrator.push_failures", failed)
         delays = [
             p.spec.control_delay_s
             for p in optimizable

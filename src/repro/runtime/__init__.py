@@ -11,6 +11,7 @@ from .events import (
     EventBus,
     FurnitureMoved,
     HumanMoved,
+    SurfaceDegraded,
 )
 
 __all__ = [
@@ -26,5 +27,6 @@ __all__ = [
     "ReactionRecord",
     "SimClock",
     "SurfOSDaemon",
+    "SurfaceDegraded",
     "Walker",
 ]

@@ -27,6 +27,7 @@ from .events import (
     Event,
     EventBus,
     HumanMoved,
+    SurfaceDegraded,
 )
 
 
@@ -67,12 +68,21 @@ class SurfOSDaemon:
             drop_threshold_db=degradation_threshold_db
         )
         self.reactions: List[ReactionRecord] = []
+        self.reoptimize_failures = 0
         self._observe_room = observe_room
         self._observe_points: Optional[np.ndarray] = None
         self._dirty = False
         self._mobility_dirty = False
+        self._fault_dirty = False
         self.bus.subscribe(HumanMoved, self._on_motion)
         self.bus.subscribe(EndpointMoved, self._on_endpoint_moved)
+        self.bus.subscribe(SurfaceDegraded, self._on_surface_degraded)
+        # Hardware health changes (quarantine, panel death, element
+        # loss) surface as bus events so the daemon reacts to broken
+        # hardware exactly like it reacts to motion.
+        hardware = getattr(orchestrator, "hardware", None)
+        if hardware is not None and getattr(hardware, "on_degraded", 1) is None:
+            hardware.on_degraded = self._publish_degraded
 
     # ------------------------------------------------------------------
 
@@ -98,6 +108,17 @@ class SurfOSDaemon:
         affected = self.orchestrator.refresh_client_tasks(event.client_id)
         if affected:
             self._mobility_dirty = True
+
+    def _publish_degraded(self, surface_id: str, reason: str) -> None:
+        """Hardware-manager hook → :class:`SurfaceDegraded` bus event."""
+        self.bus.publish(
+            SurfaceDegraded(
+                time=self.clock.now, surface_id=surface_id, reason=reason
+            )
+        )
+
+    def _on_surface_degraded(self, event: SurfaceDegraded) -> None:
+        self._fault_dirty = True
 
     def observe(self) -> np.ndarray:
         """Sample current coverage and feed the monitor."""
@@ -131,21 +152,46 @@ class SurfOSDaemon:
         self.clock.advance(dt)
         if self.dynamics is not None:
             self.dynamics.step(dt)
+        hardware = getattr(self.orchestrator, "hardware", None)
+        if hardware is not None and hasattr(hardware, "tick_faults"):
+            hardware.tick_faults(self.clock.now)
         snrs_before = self.observe()
         degraded = bool(
             self.monitor.anomalies
             and self.monitor.anomalies[-1].time == self.clock.now
         )
-        if self._mobility_dirty:
+        if self._fault_dirty:
+            trigger = "surface-degraded"
+        elif self._mobility_dirty:
             trigger = "endpoint-moved"
         elif degraded and self._dirty:
             trigger = "channel-degraded"
         else:
             return None
         detected_at = self.clock.now
-        self.orchestrator.reoptimize(now=self.clock.now)
+        try:
+            if trigger == "surface-degraded":
+                with self.telemetry.span("degraded-recovery") as span:
+                    self.orchestrator.reoptimize(now=self.clock.now)
+                    span.set(trigger=trigger)
+            else:
+                self.orchestrator.reoptimize(now=self.clock.now)
+        except ServiceError as exc:
+            # Degraded-mode guarantee: a reoptimization that cannot be
+            # satisfied (e.g. every panel dead) degrades service, it
+            # does not crash the daemon.
+            self.reoptimize_failures += 1
+            self.telemetry.counter("daemon.reoptimize_failures")
+            self.telemetry.event(
+                "daemon.reoptimize_failed", trigger=trigger, error=str(exc)
+            )
+            self._dirty = False
+            self._mobility_dirty = False
+            self._fault_dirty = False
+            return None
         self._dirty = False
         self._mobility_dirty = False
+        self._fault_dirty = False
         snrs_after = self.observe()
         record = ReactionRecord(
             detected_at=detected_at,

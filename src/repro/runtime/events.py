@@ -61,6 +61,20 @@ class ChannelDegraded(Event):
     drop_db: float = 0.0
 
 
+@dataclass(frozen=True)
+class SurfaceDegraded(Event):
+    """Hardware health changed: a surface died, lost elements, or was
+    quarantined after repeated control failures.
+
+    Published by the daemon from the hardware manager's
+    ``on_degraded`` hook; the daemon itself reacts by re-optimizing
+    around the degraded surface.
+    """
+
+    surface_id: str = ""
+    reason: str = ""
+
+
 class EventBus:
     """Synchronous publish/subscribe by event type (subclass-aware)."""
 

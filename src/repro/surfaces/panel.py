@@ -178,6 +178,21 @@ class SurfacePanel:
         self._configuration = projected
         return projected
 
+    def impair(self, config: SurfaceConfiguration) -> SurfaceConfiguration:
+        """Set the live configuration *without* feasibility projection.
+
+        Fault-injection backdoor: physical impairments (analog phase
+        drift, dark elements) are not constrained by the control
+        quantizer, so projecting them away would hide the fault from
+        the channel model.  Only the fault layer should call this.
+        """
+        if config.shape != self.shape:
+            raise ConfigurationError(
+                f"configuration shape {config.shape} != panel shape {self.shape}"
+            )
+        self._configuration = config
+        return config
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"SurfacePanel({self.panel_id!r}, {self.spec.design}, "

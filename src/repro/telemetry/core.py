@@ -35,6 +35,19 @@ from typing import (
 )
 
 
+def _strip_wall_fields(value: object) -> object:
+    """Recursively drop ``wall_*`` keys (used by sim-only exports)."""
+    if isinstance(value, dict):
+        return {
+            k: _strip_wall_fields(v)
+            for k, v in value.items()
+            if not str(k).startswith("wall")
+        }
+    if isinstance(value, list):
+        return [_strip_wall_fields(v) for v in value]
+    return value
+
+
 @dataclass(frozen=True)
 class TelemetryEvent:
     """One completed span or point event in the log.
@@ -432,18 +445,29 @@ class Telemetry:
             events_dropped=self._dropped,
         )
 
-    def export_jsonl(self, path: Optional[str] = None) -> str:
+    def export_jsonl(
+        self, path: Optional[str] = None, sim_only: bool = False
+    ) -> str:
         """Serialize the event log (plus a trailing summary record).
 
         Returns the JSON-lines text; when ``path`` is given the text is
         also written to that file.  The last line is a ``"snapshot"``
         record carrying counters, gauges, and span aggregates so a
         report can be rebuilt without replaying every event.
+
+        With ``sim_only`` every wall-clock field (``wall_*``) is
+        stripped recursively, leaving only simulated-time, count, and
+        attribute fields.  Two runs of a seeded scenario then export
+        byte-identical text — CI diffs the two exports to catch
+        nondeterminism.
         """
-        lines = [json.dumps(e.as_dict(), sort_keys=True) for e in self._events]
-        summary = {"kind": "snapshot"}
+        records = [e.as_dict() for e in self._events]
+        summary: Dict[str, object] = {"kind": "snapshot"}
         summary.update(self.snapshot().as_dict())
-        lines.append(json.dumps(summary, sort_keys=True))
+        records.append(summary)
+        if sim_only:
+            records = [_strip_wall_fields(r) for r in records]
+        lines = [json.dumps(r, sort_keys=True) for r in records]
         text = "\n".join(lines) + "\n"
         if path is not None:
             with open(path, "w", encoding="utf-8") as fh:

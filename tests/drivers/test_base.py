@@ -145,6 +145,23 @@ class TestDataPlane:
         )
         assert chosen is None
 
+    def test_feedback_validates_before_activation(self, driver, rng):
+        driver.push_configuration(
+            "a", SurfaceConfiguration.random(4, 4, rng=rng), now=0.0
+        )
+        driver.commit(now=1.0)
+        # A codebook entry injected around push() (or predating a spec
+        # change) must not actuate silently if the panel can't express it.
+        driver._codebook["rogue"] = SurfaceConfiguration.zeros(3, 3)
+        with pytest.raises(ConfigurationError):
+            driver.apply_feedback(
+                FeedbackReport(
+                    client_id="phone",
+                    metric_by_configuration={"a": 1.0, "rogue": 99.0},
+                )
+            )
+        assert driver.active_configuration_name == "a"
+
 
 class TestPassive:
     def test_fabricate_once(self, rng):

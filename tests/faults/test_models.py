@@ -1,0 +1,53 @@
+"""Fault spec validation and identity."""
+
+import math
+
+import pytest
+
+from repro.faults import (
+    ControlLinkFault,
+    ElementFailure,
+    PanelDeath,
+    PhaseDrift,
+)
+
+
+class TestSpecValidation:
+    def test_element_failure_fraction_bounds(self):
+        ElementFailure("s1", fraction=1.0)
+        with pytest.raises(ValueError):
+            ElementFailure("s1", fraction=0.0)
+        with pytest.raises(ValueError):
+            ElementFailure("s1", fraction=1.5)
+
+    def test_element_failure_mode(self):
+        ElementFailure("s1", mode="stuck")
+        with pytest.raises(ValueError):
+            ElementFailure("s1", mode="loose")
+
+    def test_phase_drift_sigma(self):
+        with pytest.raises(ValueError):
+            PhaseDrift("s1", sigma_rad_per_sqrt_s=0.0)
+
+    def test_link_probabilities(self):
+        ControlLinkFault("s1", drop_probability=0.5, timeout_probability=0.5)
+        with pytest.raises(ValueError):
+            ControlLinkFault("s1", drop_probability=0.7, timeout_probability=0.4)
+        with pytest.raises(ValueError):
+            ControlLinkFault("s1", drop_probability=-0.1)
+
+    def test_link_window(self):
+        assert ControlLinkFault("s1").until == math.inf
+        with pytest.raises(ValueError):
+            ControlLinkFault("s1", at_time=2.0, until=1.0)
+
+    def test_kind_names(self):
+        assert PanelDeath("s1").kind == "PanelDeath"
+        assert ElementFailure("s1").kind == "ElementFailure"
+        assert PhaseDrift("s1").kind == "PhaseDrift"
+        assert ControlLinkFault("s1").kind == "ControlLinkFault"
+
+    def test_specs_are_frozen(self):
+        spec = PanelDeath("s1", at_time=3.0)
+        with pytest.raises(Exception):
+            spec.at_time = 5.0

@@ -1,0 +1,101 @@
+"""The scripted degraded-mode scenario: 2 of 5 panels die mid-run.
+
+The acceptance test for the fault subsystem: the daemon must notice the
+deaths, re-optimize around them with zero unhandled exceptions, and land
+the post-recovery objective within the stated bound of the pre-fault
+value — deterministically per seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import degradation
+from repro.hwmgr.health import HealthStatus
+from repro.runtime import SurfaceDegraded
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    """One full run, shared across assertions (it carries the system)."""
+    system = degradation.build_system(seed=0)
+    result = degradation.run(seed=0, system=system)
+    return system, result
+
+
+class TestRecovery:
+    def test_recovers_within_stated_bound(self, outcome):
+        _, result = outcome
+        assert result.faults_injected == 2
+        assert result.degraded_median_snr_db < result.pre_fault_median_snr_db
+        assert result.recovered_median_snr_db > result.degraded_median_snr_db
+        assert result.recovery_gap_db <= degradation.RECOVERY_BOUND_DB
+        assert result.recovered_within_bound
+
+    def test_zero_unhandled_exceptions(self, outcome):
+        system, result = outcome
+        assert result.reoptimize_failures == 0
+        assert system.daemon.reoptimize_failures == 0
+
+    def test_daemon_reacted_to_surface_degradation(self, outcome):
+        system, _ = outcome
+        triggers = [r.trigger for r in system.daemon.reactions]
+        assert "surface-degraded" in triggers
+        degraded_events = system.daemon.bus.events_of(SurfaceDegraded)
+        assert sorted({e.surface_id for e in degraded_events}) == [
+            "rs-2",
+            "rs-4",
+        ]
+        assert all(e.reason == "panel-dead" for e in degraded_events)
+
+    def test_dead_panels_masked_but_still_mounted(self, outcome):
+        system, _ = outcome
+        report = system.hardware.health_report()
+        assert report["rs-2"].status is HealthStatus.DEAD
+        assert report["rs-4"].status is HealthStatus.DEAD
+        survivors = {p.panel_id for p in system.hardware.operational_panels()}
+        assert survivors == {"rs-1", "rs-3", "rs-5"}
+        assert len(system.hardware.panels()) == 5
+        for sid in ("rs-2", "rs-4"):
+            config = system.hardware.panel(sid).configuration
+            assert np.all(config.amplitudes == 0.0)
+
+    def test_degradation_span_recorded(self, outcome):
+        system, _ = outcome
+        spans = [
+            e
+            for e in system.telemetry.events()
+            if e.kind == "span" and e.name == "degraded-recovery"
+        ]
+        assert spans
+        assert system.telemetry.counters["faults.injected"] == 2
+
+    def test_render_mentions_verdict(self, outcome):
+        _, result = outcome
+        text = result.render()
+        assert "within bound" in text
+        assert "rs-2" in text and "rs-4" in text
+
+
+class TestDeterminism:
+    def test_same_seed_identical_outcome(self, outcome):
+        _, first = outcome
+        second = degradation.run(seed=0)
+        assert second.pre_fault_median_snr_db == first.pre_fault_median_snr_db
+        assert second.degraded_median_snr_db == first.degraded_median_snr_db
+        assert (
+            second.recovered_median_snr_db == first.recovered_median_snr_db
+        )
+        assert second.faults_injected == first.faults_injected
+
+    def test_sim_only_export_is_reproducible(self):
+        exports = []
+        for _ in range(2):
+            system = degradation.build_system(seed=3)
+            degradation.run(seed=3, system=system)
+            exports.append(system.telemetry.export_jsonl(sim_only=True))
+        assert exports[0] == exports[1]
+        assert "wall" not in exports[0]
+
+    def test_run_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            degradation.run(seed=0, steps=1, dt=0.1)

@@ -79,6 +79,24 @@ class TestRegistry:
         with pytest.raises(UnknownDeviceError):
             manager.unregister_surface("s1")
 
+    def test_unregister_is_symmetric_for_every_device_kind(self, manager):
+        manager.register_access_point(AccessPoint("ap1", vec3(0, 0, 2), 4, ghz(28)))
+        manager.register_client(ClientDevice("phone", vec3(3, 1, 1)))
+        manager.register_sensor(
+            Sensor("pd1", vec3(1, 1, 1), "power", read=lambda: -40.0)
+        )
+        manager.unregister_access_point("ap1")
+        manager.unregister_client("phone")
+        manager.unregister_sensor("pd1")
+        assert manager.access_points() == []
+        assert manager.clients() == []
+        with pytest.raises(UnknownDeviceError):
+            manager.unregister_access_point("ap1")
+        with pytest.raises(UnknownDeviceError):
+            manager.unregister_client("phone")
+        with pytest.raises(UnknownDeviceError):
+            manager.unregister_sensor("pd1")
+
     def test_non_surface_devices(self, manager):
         ap = AccessPoint("ap1", vec3(0, 0, 2), 4, ghz(28))
         client = ClientDevice("phone", vec3(3, 1, 1))
