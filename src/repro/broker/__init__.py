@@ -1,8 +1,15 @@
 """Service broker layer: demands, profiles, translation, daemon."""
 
 from .broker import ServedApplication, ServiceBroker
-from .calls import SERVICE_SIGNATURES, ServiceCall
+from .calls import (
+    SERVICE_SIGNATURES,
+    RequestStatus,
+    ServiceCall,
+    ServiceRequest,
+    ServiceResponse,
+)
 from .demands import ApplicationDemand
+from .handle import HandleStatus, ServiceHandle
 from .profiles import PROFILES, demand_for
 from .translation import (
     BASE_MARGIN_DB,
@@ -15,13 +22,18 @@ from .translation import (
 __all__ = [
     "ApplicationDemand",
     "BASE_MARGIN_DB",
+    "HandleStatus",
     "LATENCY_MARGIN_DB",
     "PROFILES",
+    "RequestStatus",
     "SERVICE_SIGNATURES",
     "SHANNON_EFFICIENCY",
     "ServedApplication",
     "ServiceBroker",
     "ServiceCall",
+    "ServiceHandle",
+    "ServiceRequest",
+    "ServiceResponse",
     "demand_for",
     "required_snr_db",
     "translate_demand",

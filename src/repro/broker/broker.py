@@ -5,19 +5,34 @@ service broker, as a base application (a daemon), that invokes services
 based on their demands."  The broker registers applications, translates
 their demands into service calls, submits them to the orchestrator, and
 tracks whether achieved metrics satisfy the demands.
+
+Every demand enters as a :class:`~repro.broker.calls.ServiceRequest`
+and every verb answers with a
+:class:`~repro.broker.calls.ServiceResponse`;
+:meth:`ServiceBroker.register_application` hands back a
+:class:`~repro.broker.handle.ServiceHandle` rather than the broker's
+internal record.  The handle duck-types as the legacy
+:class:`ServedApplication` (with a :class:`DeprecationWarning`) for one
+release.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
 
 from ..core.errors import ServiceError, TranslationError
 from ..llm.intent import dispatch_calls
 from ..orchestrator.tasks import ServiceTask, TaskState
 from ..telemetry import Telemetry
-from .calls import ServiceCall
+from .calls import (
+    RequestStatus,
+    ServiceCall,
+    ServiceRequest,
+    ServiceResponse,
+)
 from .demands import ApplicationDemand
+from .handle import ServiceHandle
 from .profiles import demand_for
 from .translation import required_snr_db, translate_demand
 
@@ -52,41 +67,105 @@ class ServiceBroker:
             getattr(orchestrator, "telemetry", None) or Telemetry()
         )
         self._apps: Dict[str, ServedApplication] = {}
+        self._handles: Dict[str, ServiceHandle] = {}
 
     # ------------------------------------------------------------------
 
+    def serve(
+        self,
+        request: ServiceRequest,
+        handle: Optional[ServiceHandle] = None,
+    ) -> ServiceResponse:
+        """Serve one typed request: translate, dispatch, record.
+
+        The typed entry point behind both
+        :meth:`register_application` and the request pipeline's
+        admission batcher.  Never raises for predictable rejections
+        (duplicate key, untranslatable demand) — those come back as a
+        ``REJECTED`` :class:`ServiceResponse` so a queue drain can keep
+        going; scheduler admission errors still propagate unless the
+        orchestrator is in deferred (batch) admission mode.
+        """
+        key = request.key
+        if handle is None:
+            handle = ServiceHandle(self, request)
+        if key in self._apps and self._apps[key].active:
+            reason = f"application {key!r} already served"
+            handle._mark_rejected(reason)
+            self.telemetry.counter("broker.rejections")
+            return ServiceResponse(
+                status=RequestStatus.REJECTED,
+                request=request,
+                reason=reason,
+                handle=handle,
+                key=key,
+            )
+        try:
+            calls = translate_demand(request.demand, self.orchestrator.budget)
+        except TranslationError as exc:
+            handle._mark_rejected(str(exc))
+            self.telemetry.counter("broker.rejections")
+            return ServiceResponse(
+                status=RequestStatus.REJECTED,
+                request=request,
+                reason=str(exc),
+                handle=handle,
+                key=key,
+            )
+        tasks = dispatch_calls(calls, self.orchestrator)
+        served = ServedApplication(
+            demand=request.demand, calls=calls, tasks=tasks
+        )
+        self._apps[key] = served
+        handle._attach(served)
+        self._handles[key] = handle
+        self.telemetry.counter("broker.registrations")
+        return ServiceResponse(
+            status=RequestStatus.ADMITTED,
+            request=request,
+            handle=handle,
+            key=key,
+        )
+
     def register_application(
         self, demand: ApplicationDemand
-    ) -> ServedApplication:
-        """Translate a demand and submit its service tasks.
+    ) -> ServiceHandle:
+        """Translate a demand, submit its service tasks, return a handle.
 
         A fully-inactive record under the same ``app@client`` key is
-        replaced; registering over a still-active one raises.
+        replaced; registering over a still-active one raises.  The
+        returned :class:`ServiceHandle` carries status, task ids,
+        ``satisfaction()`` and ``stop()``; legacy attribute access
+        (``.tasks``, ``.active``, …) still works with a
+        :class:`DeprecationWarning`.
         """
-        key = f"{demand.app_name}@{demand.client_id}"
-        if key in self._apps and self._apps[key].active:
-            raise ServiceError(f"application {key!r} already served")
-        calls = translate_demand(demand, self.orchestrator.budget)
-        tasks = dispatch_calls(calls, self.orchestrator)
-        served = ServedApplication(demand=demand, calls=calls, tasks=tasks)
-        self._apps[key] = served
-        self.telemetry.counter("broker.registrations")
-        return served
+        request = ServiceRequest(
+            demand=demand,
+            submitted_at=getattr(self.orchestrator, "clock_now", 0.0),
+        )
+        response = self.serve(request)
+        if response.status is RequestStatus.REJECTED:
+            raise ServiceError(response.reason)
+        return response.handle
 
     def register_profile(
         self, app_name: str, client_id: str, room_id: str, **overrides
-    ) -> ServedApplication:
+    ) -> ServiceHandle:
         """Register an application by archetype name."""
         return self.register_application(
             demand_for(app_name, client_id, room_id, **overrides)
         )
 
-    def stop_application(self, app_name: str, client_id: str) -> None:
+    def stop_application(
+        self, app_name: str, client_id: str
+    ) -> ServiceResponse:
         """Complete every task an application holds.
 
         The served record is marked inactive even when some (or all)
         of its tasks already reached a terminal state, so the key is
-        always free for re-registration afterwards.
+        always free for re-registration afterwards.  Returns a
+        ``STOPPED`` :class:`ServiceResponse` (legacy callers ignored
+        the old ``None`` return, so this is strictly additive).
         """
         key = f"{app_name}@{client_id}"
         served = self._apps.get(key)
@@ -97,19 +176,41 @@ class ServiceBroker:
                 self.orchestrator.complete_task(task.task_id)
         served.stopped = True
         self.telemetry.counter("broker.stops")
+        return ServiceResponse(
+            status=RequestStatus.STOPPED,
+            key=key,
+            completed_at=getattr(self.orchestrator, "clock_now", None),
+            handle=self._handles.get(key),
+        )
 
-    def applications(self) -> List[ServedApplication]:
-        """All registered applications."""
-        return list(self._apps.values())
+    def applications(self) -> List[ServiceHandle]:
+        """Handles of all registered applications."""
+        return list(self._handles.values())
+
+    def handle_for(self, app_name: str, client_id: str) -> ServiceHandle:
+        """Look up the handle registered under ``app@client``."""
+        key = f"{app_name}@{client_id}"
+        try:
+            return self._handles[key]
+        except KeyError:
+            raise ServiceError(f"unknown application {key!r}") from None
 
     # ------------------------------------------------------------------
 
-    def satisfaction(self, served: ServedApplication) -> Dict[str, object]:
+    def satisfaction(
+        self, served: Union[ServedApplication, ServiceHandle]
+    ) -> Dict[str, object]:
         """Compare achieved metrics against the application's demand.
 
-        Returns a report with the per-requirement verdicts the broker
-        uses to decide re-optimization or escalation.
+        Accepts either a :class:`ServiceHandle` or the legacy
+        :class:`ServedApplication` record.  Returns a report with the
+        per-requirement verdicts the broker uses to decide
+        re-optimization or escalation.
         """
+        if isinstance(served, ServiceHandle):
+            if served._served is None:
+                raise ServiceError(f"{served.key}: not admitted yet")
+            served = served._served
         self.telemetry.counter("broker.satisfaction_checks")
         report: Dict[str, object] = {
             "app": served.demand.app_name,
@@ -150,16 +251,16 @@ class ServiceBroker:
             report["security_satisfied"] = bool(margins) and max(margins) > 0
         return report
 
-    def unsatisfied(self) -> List[ServedApplication]:
+    def unsatisfied(self) -> List[ServiceHandle]:
         """Applications whose link requirement is currently missed."""
         with self.telemetry.span("broker-satisfaction"):
             missed = []
-            for served in self._apps.values():
+            for key, served in self._apps.items():
                 if not served.active:
                     continue
                 report = self.satisfaction(served)
                 if report.get("link_satisfied") is False:
-                    missed.append(served)
+                    missed.append(self._handles[key])
         if missed:
             self.telemetry.counter("broker.unsatisfied", len(missed))
         return missed

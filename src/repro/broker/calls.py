@@ -1,18 +1,30 @@
-"""Service calls: the validated form of a SurfOS API invocation.
+"""Service calls and request envelopes: the broker's typed wire forms.
 
 Both the service broker (translating application demands) and the LLM
 layer (translating natural language) produce :class:`ServiceCall`
 objects; the dispatcher turns them into orchestrator API invocations.
 Keeping an explicit, validated intermediate form is what makes
 LLM-generated calls safe to execute.
+
+Around the calls sit the request-pipeline envelopes: every demand that
+enters the broker — whether directly through
+:meth:`~repro.broker.broker.ServiceBroker.register_application` or
+queued through :class:`~repro.pipeline.RequestPipeline` — travels as a
+:class:`ServiceRequest`, and every broker verb answers with a
+:class:`ServiceResponse` carrying a typed status and (on success) the
+:class:`~repro.broker.handle.ServiceHandle` for the served
+application.
 """
 
 from __future__ import annotations
 
+import enum
+import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from ..core.errors import TranslationError
+from .demands import ApplicationDemand
 
 #: Function name → (required kwargs, optional kwargs with types).
 SERVICE_SIGNATURES: Dict[str, Tuple[Dict[str, type], Dict[str, type]]] = {
@@ -98,3 +110,96 @@ class ServiceCall:
             if k not in required
         ]
         return f"{self.function}({', '.join(positional + keyword)})"
+
+
+# ----------------------------------------------------------------------
+# request / response envelopes (the broker's typed entry points)
+# ----------------------------------------------------------------------
+
+_request_counter = itertools.count(1)
+
+
+def reset_request_counter() -> None:
+    """Restart request-id numbering (determinism tests only)."""
+    global _request_counter
+    _request_counter = itertools.count(1)
+
+
+class RequestStatus(enum.Enum):
+    """Outcome class of one broker request."""
+
+    QUEUED = "queued"        #: accepted into the pipeline queue
+    ADMITTED = "admitted"    #: tasks created and admitted into slices
+    REJECTED = "rejected"    #: refused (queue full, duplicate, invalid)
+    STOPPED = "stopped"      #: a stop/cancel verb completed
+    FAILED = "failed"        #: admission or optimization failed
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One application demand on its way into the broker.
+
+    Attributes:
+        demand: the application-level demand to serve.
+        submitted_at: simulated time the request entered the system.
+        priority: admission priority; defaults to the demand's own.
+        request_id: unique id, auto-assigned.
+    """
+
+    demand: ApplicationDemand
+    submitted_at: float = 0.0
+    priority: Optional[int] = None
+    request_id: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.request_id:
+            object.__setattr__(
+                self, "request_id", f"req-{next(_request_counter)}"
+            )
+
+    @property
+    def key(self) -> str:
+        """The broker registry key (``app@client``)."""
+        return f"{self.demand.app_name}@{self.demand.client_id}"
+
+    @property
+    def effective_priority(self) -> int:
+        """The priority used for queueing and admission."""
+        return (
+            self.priority if self.priority is not None else self.demand.priority
+        )
+
+
+@dataclass
+class ServiceResponse:
+    """Typed answer to one broker verb.
+
+    Attributes:
+        request: the request this response answers (``None`` for verbs
+            like ``stop_application`` that target an existing key).
+        status: outcome class (:class:`RequestStatus`).
+        reason: human-readable rejection/failure reason.
+        handle: the live :class:`~repro.broker.handle.ServiceHandle`
+            when the request was accepted or admitted.
+        completed_at: simulated time the verb finished.
+        key: the ``app@client`` registry key the verb acted on.
+    """
+
+    status: RequestStatus
+    request: Optional[ServiceRequest] = None
+    reason: str = ""
+    handle: Optional[object] = None
+    completed_at: Optional[float] = None
+    key: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """Whether the verb succeeded (queued counts as success)."""
+        return self.status in (
+            RequestStatus.QUEUED,
+            RequestStatus.ADMITTED,
+            RequestStatus.STOPPED,
+        )
+
+    def __bool__(self) -> bool:
+        return self.ok

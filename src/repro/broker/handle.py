@@ -1,0 +1,208 @@
+"""Service handles: the caller's grip on a served application.
+
+:meth:`~repro.broker.broker.ServiceBroker.register_application` used to
+return the broker's *internal* :class:`ServedApplication` record, so
+callers poked at raw task lists and re-entered the broker by name to
+stop or inspect anything.  A :class:`ServiceHandle` is the redesigned
+surface: a stable object with a derived :class:`HandleStatus`, the
+created task ids, ``satisfaction()``, ``stop()``, and a sim-clock
+``wait()`` that pumps the request pipeline until the application is
+actually being served.
+
+Legacy attribute access (``handle.demand``, ``.calls``, ``.tasks``,
+``.active``, ``.stopped``) keeps working for one release through a
+duck-type shim that emits a :class:`DeprecationWarning` — the same
+pattern :class:`~repro.core.operations.OperationResult` uses for the
+hardware verbs.
+"""
+
+from __future__ import annotations
+
+import enum
+import warnings
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from ..core.errors import ServiceError
+from ..orchestrator.tasks import TaskState
+from .calls import ServiceRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .broker import ServedApplication, ServiceBroker
+
+
+class HandleStatus(enum.Enum):
+    """Lifecycle of one brokered application, derived from its tasks."""
+
+    QUEUED = "queued"          #: waiting in the pipeline queue
+    ADMITTED = "admitted"      #: tasks hold slices, not yet optimized
+    RUNNING = "running"        #: at least one task is actively served
+    COMPLETED = "completed"    #: every task finished cleanly
+    STOPPED = "stopped"        #: explicitly stopped by the caller
+    FAILED = "failed"          #: admission or optimization failed
+    REJECTED = "rejected"      #: never accepted (queue full, duplicate)
+
+
+#: States in which :meth:`ServiceHandle.wait` stops pumping the clock.
+_SETTLED = (
+    HandleStatus.RUNNING,
+    HandleStatus.COMPLETED,
+    HandleStatus.STOPPED,
+    HandleStatus.FAILED,
+    HandleStatus.REJECTED,
+)
+
+#: ServedApplication attributes reachable through the legacy shim.
+_LEGACY_ATTRS = ("demand", "calls", "tasks", "active", "stopped")
+
+
+class ServiceHandle:
+    """The caller-facing handle for one registered application."""
+
+    def __init__(self, broker: "ServiceBroker", request: ServiceRequest):
+        self._broker = broker
+        self.request = request
+        self._served: Optional["ServedApplication"] = None
+        self._pipeline = None
+        self._rejected_reason = ""
+        self._failure_reason = ""
+        self._cancelled = False
+        #: Sim-clock timestamps the pipeline fills in as the request
+        #: progresses (submit → admit → first configurations live).
+        self.submitted_at: float = request.submitted_at
+        self.admitted_at: Optional[float] = None
+        self.served_at: Optional[float] = None
+
+    # -- wiring (broker/pipeline internal) ------------------------------
+
+    def _attach(self, served: "ServedApplication") -> None:
+        self._served = served
+
+    def _bind_pipeline(self, pipeline) -> None:
+        self._pipeline = pipeline
+
+    def _mark_rejected(self, reason: str) -> None:
+        self._rejected_reason = reason
+
+    def _mark_failed(self, reason: str) -> None:
+        self._failure_reason = reason
+
+    # -- the new API -----------------------------------------------------
+
+    @property
+    def key(self) -> str:
+        """The broker registry key (``app@client``)."""
+        return self.request.key
+
+    @property
+    def status(self) -> HandleStatus:
+        """Current lifecycle state, derived from the underlying tasks."""
+        if self._rejected_reason:
+            return HandleStatus.REJECTED
+        if self._cancelled:
+            return HandleStatus.STOPPED
+        served = self._served
+        if served is None:
+            return HandleStatus.QUEUED
+        if served.stopped:
+            return HandleStatus.STOPPED
+        if self._failure_reason:
+            return HandleStatus.FAILED
+        states = [t.state for t in served.tasks]
+        if any(s is TaskState.PENDING for s in states):
+            return HandleStatus.QUEUED
+        if any(s in (TaskState.RUNNING, TaskState.IDLE) for s in states):
+            return HandleStatus.RUNNING
+        if states and all(
+            s in (TaskState.COMPLETED, TaskState.FAILED) for s in states
+        ):
+            if any(s is TaskState.FAILED for s in states):
+                return HandleStatus.FAILED
+            return HandleStatus.COMPLETED
+        return HandleStatus.ADMITTED
+
+    @property
+    def reason(self) -> str:
+        """Why the request was rejected or failed (empty otherwise)."""
+        return self._rejected_reason or self._failure_reason
+
+    @property
+    def task_ids(self) -> List[str]:
+        """Ids of every task created for this application."""
+        if self._served is None:
+            return []
+        return [t.task_id for t in self._served.tasks]
+
+    @property
+    def task_id(self) -> str:
+        """The primary (first-created) task id, or ``""`` if queued."""
+        ids = self.task_ids
+        return ids[0] if ids else ""
+
+    def satisfaction(self) -> Dict[str, object]:
+        """Per-requirement verdicts against the demand (broker report)."""
+        if self._served is None:
+            raise ServiceError(
+                f"{self.key}: not admitted yet (status {self.status.value})"
+            )
+        return self._broker.satisfaction(self._served)
+
+    def stop(self):
+        """Stop the application; returns the broker's ServiceResponse."""
+        from .calls import RequestStatus, ServiceResponse
+
+        if self._served is None:
+            # Still queued: cancel in place, nothing to tear down.
+            self._cancelled = True
+            return ServiceResponse(
+                status=RequestStatus.STOPPED,
+                request=self.request,
+                key=self.key,
+            )
+        return self._broker.stop_application(
+            self.request.demand.app_name, self.request.demand.client_id
+        )
+
+    def wait(
+        self, timeout_s: float = 60.0, dt: float = 0.5
+    ) -> HandleStatus:
+        """Pump the request pipeline's sim clock until served or timed out.
+
+        Advances the attached pipeline (submit → batch admission →
+        coalesced reoptimization) in ``dt`` steps of simulated time
+        until the handle settles (running, completed, stopped, failed,
+        or rejected) or ``timeout_s`` of simulated time elapses.
+        Without a pipeline the handle cannot make progress on its own,
+        so the current status is returned immediately.
+        """
+        if self._pipeline is None:
+            return self.status
+        deadline = self._pipeline.clock.now + timeout_s
+        while self.status not in _SETTLED:
+            if self._pipeline.clock.now >= deadline:
+                break
+            self._pipeline.clock.advance(dt)
+            self._pipeline.tick()
+        return self.status
+
+    # -- legacy duck-type shim ------------------------------------------
+
+    def __getattr__(self, name: str):
+        served = object.__getattribute__(self, "__dict__").get("_served")
+        if name in _LEGACY_ATTRS and served is not None:
+            warnings.warn(
+                f"reading {name!r} off a ServiceHandle as if it were the "
+                "legacy ServedApplication record is deprecated; use the "
+                "handle API (status, task_ids, satisfaction(), stop())",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return getattr(served, name)
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ServiceHandle({self.key}, {self.status.value}, "
+            f"tasks={self.task_ids})"
+        )

@@ -13,6 +13,7 @@ Usage::
     python -m repro.cli trace --jsonl /tmp/trace.jsonl
     python -m repro.cli trace --report /tmp/trace.jsonl
     python -m repro.cli faults --seed 7 --jsonl /tmp/faults.jsonl
+    python -m repro.cli pipeline --requests 10 --json /tmp/bench.json
     python -m repro.cli info
 
 Every experiment prints the same rendering its benchmark asserts on.
@@ -22,7 +23,9 @@ as JSON lines); ``trace --report`` renders a previously exported file.
 ``faults`` runs the degraded-mode recovery scenario (two of five panels
 die mid-run); its ``--jsonl`` export strips wall-clock fields, so two
 runs with the same seed produce byte-identical files — CI diffs them to
-catch nondeterminism.
+catch nondeterminism.  ``pipeline`` runs the open-loop arrival
+benchmark (serial vs pipelined admission) and exits nonzero if the
+pipelined p99 latency exceeds serial.
 """
 
 from __future__ import annotations
@@ -229,6 +232,41 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    import json
+
+    from .experiments import arrivals
+
+    result = arrivals.run(
+        requests=args.requests, rate_hz=args.rate, seed=args.seed
+    )
+    print(result.render())
+    if args.json:
+        payload = {
+            "requests": result.requests,
+            "rate_hz": result.rate_hz,
+            "seed": result.seed,
+            "speedup": round(result.speedup, 3),
+            "coalesce_ratio": round(result.coalesce_ratio, 3),
+            "serial": result.serial.summary(),
+            "pipelined": result.pipelined.summary(),
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nbenchmark results written to {args.json}")
+    # The regression gate: pipelining must never make tail latency
+    # worse than serial admission on the same trace.
+    ok = result.pipelined.p99_latency_s <= result.serial.p99_latency_s
+    if not ok:
+        print(
+            f"FAIL: pipelined p99 {result.pipelined.p99_latency_s:.3f}s "
+            f"exceeds serial p99 {result.serial.p99_latency_s:.3f}s",
+            file=sys.stderr,
+        )
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -337,6 +375,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="export the sim-only (wall-clock-free) event log",
     )
     faults.set_defaults(fn=_cmd_faults)
+
+    pipeline = sub.add_parser(
+        "pipeline",
+        help="open-loop arrival benchmark: serial vs pipelined admission",
+    )
+    pipeline.add_argument(
+        "--requests", type=int, default=10, help="requests in the trace"
+    )
+    pipeline.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        metavar="HZ",
+        help="Poisson arrival rate; 0 = one burst (default)",
+    )
+    pipeline.add_argument(
+        "--seed", type=int, default=0, help="arrival/placement seed"
+    )
+    pipeline.add_argument(
+        "--json", metavar="FILE", help="write the comparison as JSON"
+    )
+    pipeline.set_defaults(fn=_cmd_pipeline)
     return parser
 
 

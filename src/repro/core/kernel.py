@@ -75,6 +75,7 @@ class SurfOS:
         self.broker: Optional[ServiceBroker] = None
         self.translator: Optional[IntentTranslator] = None
         self.daemon: Optional[SurfOSDaemon] = None
+        self.pipeline = None
         self.dynamics = EnvironmentDynamics(env)
 
     # ------------------------------------------------------------------
@@ -119,6 +120,24 @@ class SurfOS:
             observe_room=observe_room,
         )
         return self
+
+    def attach_pipeline(self, config=None):
+        """Build a request pipeline over the broker and daemon clock.
+
+        Returns the :class:`~repro.pipeline.RequestPipeline`, shared
+        with the daemon so environment triggers (motion, degradation)
+        coalesce with admission triggers.  Pass a
+        :class:`~repro.pipeline.PipelineConfig` to tune queue capacity,
+        batch size, the coalescing window, and evaluation parallelism.
+        """
+        self._require_boot()
+        from ..pipeline import RequestPipeline
+
+        self.pipeline = RequestPipeline(
+            self.broker, clock=self.daemon.clock, config=config
+        )
+        self.daemon.pipeline = self.pipeline
+        return self.pipeline
 
     def _require_boot(self) -> None:
         if self.orchestrator is None:

@@ -7,17 +7,20 @@
 * :mod:`.fig6` — LLM translation of user demands into service calls.
 * :mod:`.degradation` — degraded-mode recovery: two of five panels die
   mid-run; the daemon re-optimizes around them.
+* :mod:`.arrivals` — open-loop arrival benchmark: serial admission vs
+  the concurrent request pipeline (batched + coalesced).
 
 Figures 1 and 3 of the paper are architecture diagrams; their
 "reproduction" is the system itself (see DESIGN.md).
 """
 
-from . import degradation, fig2, fig4, fig5, fig6, table1
+from . import arrivals, degradation, fig2, fig4, fig5, fig6, table1
 from .scenario import ApartmentScenario, CARRIER_HZ, build_scenario
 
 __all__ = [
     "ApartmentScenario",
     "CARRIER_HZ",
+    "arrivals",
     "build_scenario",
     "degradation",
     "fig2",

@@ -54,6 +54,8 @@ class Optimizer:
 
     #: Optional telemetry sink; set via :meth:`bind_telemetry`.
     telemetry = None
+    #: Optional batch evaluator; set via :meth:`bind_evaluator`.
+    evaluator = None
 
     def optimize(
         self,
@@ -67,6 +69,24 @@ class Optimizer:
     def bind_telemetry(self, telemetry) -> None:
         """Attach a telemetry instance for objective-evaluation counters."""
         self.telemetry = telemetry
+
+    def bind_evaluator(self, evaluator) -> None:
+        """Attach a batch evaluator (e.g. the pipeline's worker pool).
+
+        When bound, value-only optimizers route their candidate batches
+        through ``evaluator.value_many(objective, batch)`` instead of
+        calling :meth:`Objective.value_many` directly.  The evaluator
+        must be bit-identical to the direct call (see
+        :class:`repro.pipeline.workers.BatchEvaluator`), so binding one
+        never changes results — only where the NumPy work runs.
+        """
+        self.evaluator = evaluator
+
+    def _value_many(self, objective: Objective, batch: np.ndarray) -> np.ndarray:
+        """Evaluate a candidate batch, via the bound evaluator if any."""
+        if self.evaluator is not None:
+            return np.asarray(self.evaluator.value_many(objective, batch))
+        return np.asarray(objective.value_many(batch))
 
     def _count_evals(self, count: int) -> None:
         if self.telemetry is not None and count:
@@ -204,7 +224,7 @@ class RandomSearch(Optimizer):
         for _ in range(self.max_iterations):
             offsets = rng.normal(scale=scale, size=(self.population, phases.size))
             candidates = phases[None, :] + offsets
-            losses = np.asarray(objective.value_many(candidates))
+            losses = self._value_many(objective, candidates)
             self._count_evals(self.population)
             evaluations += self.population
             j = int(np.argmin(losses))
@@ -267,7 +287,7 @@ class SimulatedAnnealing(Optimizer):
                     scale=self.proposal_scale, size=subset
                 )
             uniforms = rng.random(block)
-            losses = np.asarray(objective.value_many(candidates))
+            losses = self._value_many(objective, candidates)
             self._count_evals(block)
             evaluations += block
             for j in range(block):

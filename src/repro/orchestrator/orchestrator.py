@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import math
 import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import (
     Callable,
@@ -59,6 +60,15 @@ class _TaskContext:
     legit_local: Optional[np.ndarray] = None     # security: local indices
     eve_local: Optional[np.ndarray] = None
     point_offset: int = 0                   # filled per reoptimize pass
+
+
+@dataclass
+class _AdmissionBatch:
+    """Deferred ``(task, slices)`` pairs collected for one batch pass."""
+
+    entries: List[Tuple[ServiceTask, list]] = field(default_factory=list)
+    #: ``task_id → failure reason`` (None = admitted), filled on exit.
+    outcomes: Dict[str, Optional[str]] = field(default_factory=dict)
 
 
 class ReoptimizationResult(Mapping):
@@ -157,13 +167,15 @@ class SurfaceOrchestrator:
         self.simulator = ChannelSimulator(
             env, frequency_hz, telemetry=self.telemetry
         )
-        self.scheduler = Scheduler()
+        self.scheduler = Scheduler(telemetry=self.telemetry)
         self.optimizer = optimizer or Adam(max_iterations=120)
         self.optimizer.bind_telemetry(self.telemetry)
         self.grid_spacing_m = grid_spacing_m
         self.sensing_angles = sensing_angles
         self.rng = rng or np.random.default_rng(0)
         self._contexts: Dict[str, _TaskContext] = {}
+        self._dirty_tasks: set = set()
+        self._admission_batch: Optional[_AdmissionBatch] = None
         aps = hardware.access_points()
         if ap_id is None and len(aps) != 1:
             raise ServiceError(
@@ -205,11 +217,74 @@ class SurfaceOrchestrator:
         slices = propose_slices(
             task, panels, strategy, target_points=points, **slice_kwargs
         )
-        self.scheduler.admit(task, slices)
+        if self._admission_batch is not None:
+            # Deferred mode: park the pair for one admit_batch() pass at
+            # the end of the batch_admission() block.  The task stays
+            # PENDING until then; its context is stored so a successful
+            # batch admission needs no second bookkeeping pass.
+            self._admission_batch.entries.append((task, slices))
+        else:
+            self.scheduler.admit(task, slices)
         self._contexts[task.task_id] = _TaskContext(
             task=task, points=np.atleast_2d(points), weight=weight
         )
+        self._dirty_tasks.add(task.task_id)
         return task
+
+    @contextmanager
+    def batch_admission(self) -> Iterator[_AdmissionBatch]:
+        """Defer scheduler admission for every service call in the block.
+
+        The request pipeline's admission batcher wraps one tick's worth
+        of service-API calls (``enhance_link`` etc.) in this context;
+        instead of one :meth:`Scheduler.admit` per call, the collected
+        ``(task, slices)`` pairs go through one
+        :meth:`Scheduler.admit_batch` pass in priority order on exit.
+        Tasks a batch pass rejects are cleaned out of the
+        orchestrator's books; their ids map to a failure reason in the
+        yielded batch's ``outcomes``.
+        """
+        if self._admission_batch is not None:
+            raise ServiceError("batch_admission() blocks cannot nest")
+        batch = _AdmissionBatch()
+        self._admission_batch = batch
+        try:
+            yield batch
+        finally:
+            self._admission_batch = None
+            if batch.entries:
+                batch.outcomes = self.scheduler.admit_batch(batch.entries)
+                for task_id, reason in batch.outcomes.items():
+                    if reason is not None:
+                        self._contexts.pop(task_id, None)
+                        self._dirty_tasks.discard(task_id)
+
+    # ------------------------------------------------------------------
+    # dirty-set tracking (reoptimization coalescing)
+    # ------------------------------------------------------------------
+
+    def mark_dirty(self, *task_ids: str) -> None:
+        """Flag tasks whose serving configuration is stale.
+
+        With no arguments every active task is flagged (an environment-
+        wide trigger: surface degradation, channel drift).  The request
+        pipeline coalesces triggers and runs one :meth:`reoptimize`
+        covering the whole dirty set.
+        """
+        if task_ids:
+            self._dirty_tasks.update(task_ids)
+        else:
+            self._dirty_tasks.update(
+                t.task_id
+                for t in self.scheduler.tasks(
+                    TaskState.READY, TaskState.RUNNING
+                )
+            )
+
+    @property
+    def dirty_task_ids(self) -> List[str]:
+        """Tasks awaiting reoptimization, in sorted order."""
+        return sorted(self._dirty_tasks)
 
     # ------------------------------------------------------------------
     # service request APIs (the paper's Fig. 6 call surface)
@@ -641,6 +716,9 @@ class SurfaceOrchestrator:
         if not self.telemetry.enabled:
             timing = {}
         self.telemetry.counter("orchestrator.reoptimizations")
+        # Every active task was just (re)optimized: the dirty set is
+        # clean until the next admission/motion/degradation trigger.
+        self._dirty_tasks.clear()
         return ReoptimizationResult(
             joint=new_configs,
             slots=slot_configs,
@@ -843,12 +921,15 @@ class SurfaceOrchestrator:
             else:
                 ctx.points = position.copy()
             affected.append(ctx.task.task_id)
+        if affected:
+            self.mark_dirty(*affected)
         return affected
 
     def complete_task(self, task_id: str) -> None:
         """Finish a task and release its resources."""
         self.scheduler.complete(task_id)
         self._contexts.pop(task_id, None)
+        self._dirty_tasks.discard(task_id)
 
     def tick(self, now: float) -> List[str]:
         """Advance time: commit in-flight writes, reap expired tasks."""
@@ -857,4 +938,5 @@ class SurfaceOrchestrator:
         finished = self.scheduler.reap_expired(now)
         for task_id in finished:
             self._contexts.pop(task_id, None)
+            self._dirty_tasks.discard(task_id)
         return finished

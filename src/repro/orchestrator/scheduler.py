@@ -10,7 +10,7 @@ a shared configuration-multiplexing group.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.errors import AdmissionError, SchedulingError
 from .slices import ResourceSlice, SliceAllocator
@@ -18,10 +18,16 @@ from .tasks import ServiceTask, TaskState
 
 
 class Scheduler:
-    """Admits tasks into slices, preempting lower priorities if needed."""
+    """Admits tasks into slices, preempting lower priorities if needed.
 
-    def __init__(self) -> None:
+    Pass a :class:`~repro.telemetry.Telemetry` instance to surface
+    scheduler counters (``scheduler.reaped``, batch-admission sizes);
+    without one the scheduler records nothing.
+    """
+
+    def __init__(self, telemetry=None) -> None:
         self.allocator = SliceAllocator()
+        self.telemetry = telemetry
         self._tasks: Dict[str, ServiceTask] = {}
         self._slices: Dict[str, List[ResourceSlice]] = {}
         self.preemption_count = 0
@@ -75,6 +81,45 @@ class Scheduler:
         self._slices[task.task_id] = slices
         task.transition(TaskState.READY)
         return task
+
+    def admit_batch(
+        self,
+        entries: Sequence[Tuple[ServiceTask, Sequence[ResourceSlice]]],
+        allow_preemption: bool = True,
+    ) -> Dict[str, Optional[str]]:
+        """One admission pass over several ``(task, slices)`` pairs.
+
+        The request pipeline's batcher drains its queue and admits a
+        whole tick's worth of compatible requests here instead of
+        calling :meth:`admit` once per arrival.  Entries are admitted
+        in descending priority order (FIFO within a priority by
+        creation time), so a batch behaves exactly like the same
+        requests arriving one at a time in priority order — a
+        lower-priority entry can lose its slices to a higher-priority
+        one in the same batch, never the other way around.
+
+        Returns ``task_id → failure reason`` with ``None`` marking a
+        successful admission; a failed entry leaves its task FAILED
+        (as :meth:`admit` does) but never aborts the rest of the pass.
+        """
+        ordered = sorted(
+            entries,
+            key=lambda e: (-e[0].priority, e[0].created_at, e[0].task_id),
+        )
+        outcomes: Dict[str, Optional[str]] = {}
+        for task, slices in ordered:
+            try:
+                self.admit(task, slices, allow_preemption=allow_preemption)
+                outcomes[task.task_id] = None
+            except AdmissionError as exc:
+                outcomes[task.task_id] = str(exc)
+        if self.telemetry is not None and entries:
+            self.telemetry.counter("scheduler.batch_admissions")
+            self.telemetry.counter("scheduler.batch_admitted_tasks", len(entries))
+            failed = sum(1 for r in outcomes.values() if r is not None)
+            if failed:
+                self.telemetry.counter("scheduler.batch_failures", failed)
+        return outcomes
 
     def _try_preempt(
         self, task: ServiceTask, slices: Sequence[ResourceSlice]
@@ -139,12 +184,23 @@ class Scheduler:
         task.transition(TaskState.FAILED, reason=reason)
 
     def reap_expired(self, now: float) -> List[str]:
-        """Complete every running/idle task whose duration elapsed."""
+        """Complete every admitted task whose duration elapsed.
+
+        READY tasks are reaped too: a task that was admitted but never
+        started (e.g. parked behind a coalesced reoptimization window)
+        would otherwise expire with its resource slices still
+        registered in the allocator, leaking capacity forever.
+        Completion frees every slice the task holds.
+        """
         finished = []
-        for task in self.tasks(TaskState.RUNNING, TaskState.IDLE):
+        for task in self.tasks(
+            TaskState.READY, TaskState.RUNNING, TaskState.IDLE
+        ):
             if task.expired(now):
                 self.complete(task.task_id)
                 finished.append(task.task_id)
+        if finished and self.telemetry is not None:
+            self.telemetry.counter("scheduler.reaped", len(finished))
         return finished
 
     def shared_groups(self) -> Dict[str, List[str]]:

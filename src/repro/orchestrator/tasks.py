@@ -63,6 +63,12 @@ _VALID_TRANSITIONS = {
 _task_counter = itertools.count(1)
 
 
+def reset_task_counter() -> None:
+    """Restart task-id numbering (determinism tests/benchmarks only)."""
+    global _task_counter
+    _task_counter = itertools.count(1)
+
+
 @dataclass
 class ServiceTask:
     """One admitted service request.

@@ -1,0 +1,21 @@
+"""Concurrent request pipeline: queued admission, coalesced solves.
+
+See :class:`RequestPipeline` for the architecture; attach one to a
+booted kernel with :meth:`repro.core.kernel.SurfOS.attach_pipeline`.
+"""
+
+from .config import PipelineConfig
+from .pipeline import PipelineStats, RequestPipeline, TickResult
+from .queue import PriorityClass, QueuedRequest, RequestQueue
+from .workers import BatchEvaluator
+
+__all__ = [
+    "BatchEvaluator",
+    "PipelineConfig",
+    "PipelineStats",
+    "PriorityClass",
+    "QueuedRequest",
+    "RequestPipeline",
+    "RequestQueue",
+    "TickResult",
+]

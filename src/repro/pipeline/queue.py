@@ -1,0 +1,130 @@
+"""Bounded, priority-classed request queue with backpressure.
+
+The admission side of the concurrent pipeline: demands are offered,
+classed (interactive / normal / bulk), and either accepted into a
+bounded buffer or rejected with a reason.  Rejection-with-reason is the
+backpressure contract — the queue never blocks a caller and never grows
+without bound, so a burst beyond capacity degrades into explicit
+:class:`~repro.broker.calls.RequestStatus.REJECTED` responses instead
+of unbounded latency.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..broker.calls import RequestStatus, ServiceRequest, ServiceResponse
+from ..broker.handle import ServiceHandle
+
+
+class PriorityClass(enum.IntEnum):
+    """Drain-order class of one queued request (lower drains first)."""
+
+    INTERACTIVE = 0   #: hard-latency applications (sub-20 ms bounds)
+    NORMAL = 1        #: everything else
+    BULK = 2          #: low-priority background demands
+
+    @classmethod
+    def classify(cls, request: ServiceRequest) -> "PriorityClass":
+        """Class a request by its demand's latency bound and priority."""
+        if request.demand.latency_sensitive:
+            return cls.INTERACTIVE
+        if request.effective_priority <= 3:
+            return cls.BULK
+        return cls.NORMAL
+
+
+@dataclass
+class QueuedRequest:
+    """One parked request: the envelope plus its caller-facing handle."""
+
+    request: ServiceRequest
+    handle: Optional[ServiceHandle] = None
+    priority_class: PriorityClass = PriorityClass.NORMAL
+    enqueued_at: float = 0.0
+    seq: int = 0
+
+    @property
+    def sort_key(self):
+        """Drain order: class, then priority (desc), then FIFO."""
+        return (
+            int(self.priority_class),
+            -self.request.effective_priority,
+            self.seq,
+        )
+
+
+class RequestQueue:
+    """A bounded admission queue; offers beyond capacity are rejected."""
+
+    def __init__(self, capacity: int = 64):
+        self.capacity = int(capacity)
+        self._entries: List[QueuedRequest] = []
+        self._seq = itertools.count()
+        #: Lifetime counters (the pipeline mirrors these to telemetry).
+        self.offered = 0
+        self.rejected = 0
+
+    @property
+    def depth(self) -> int:
+        """Requests currently parked (cancelled ones still count)."""
+        return len(self._entries)
+
+    def offer(
+        self,
+        request: ServiceRequest,
+        handle: Optional[ServiceHandle] = None,
+        now: float = 0.0,
+    ) -> ServiceResponse:
+        """Try to park a request; reject with a reason when full."""
+        self.offered += 1
+        if len(self._entries) >= self.capacity:
+            self.rejected += 1
+            reason = (
+                f"request queue full ({self.capacity} waiting); retry later"
+            )
+            if handle is not None:
+                handle._mark_rejected(reason)
+            return ServiceResponse(
+                status=RequestStatus.REJECTED,
+                request=request,
+                reason=reason,
+                handle=handle,
+                key=request.key,
+            )
+        entry = QueuedRequest(
+            request=request,
+            handle=handle,
+            priority_class=PriorityClass.classify(request),
+            enqueued_at=now,
+            seq=next(self._seq),
+        )
+        self._entries.append(entry)
+        return ServiceResponse(
+            status=RequestStatus.QUEUED,
+            request=request,
+            handle=handle,
+            key=request.key,
+        )
+
+    def drain(self, max_batch: int) -> List[QueuedRequest]:
+        """Pop up to ``max_batch`` requests in drain order.
+
+        Cancelled handles (``stop()`` called while queued) are dropped
+        silently — they consume no batch slots.
+        """
+        self._entries.sort(key=lambda e: e.sort_key)
+        batch: List[QueuedRequest] = []
+        remaining: List[QueuedRequest] = []
+        for entry in self._entries:
+            if entry.handle is not None and entry.handle._cancelled:
+                continue
+            if len(batch) < max_batch:
+                batch.append(entry)
+            else:
+                remaining.append(entry)
+        self._entries = remaining
+        return batch

@@ -1,0 +1,86 @@
+"""Worker-pool candidate evaluation, bit-identical to serial.
+
+The value-only optimizers (random search, simulated annealing) spend
+their time in :meth:`Objective.value_many` — dense NumPy linear algebra
+that releases the GIL — so a thread pool genuinely overlaps the work.
+
+Determinism contract: results must be *bit-identical* regardless of
+``parallelism``.  The trick is that the chunk grid depends only on
+``chunk`` (a config constant), never on the worker count: a candidate
+batch is split into the same fixed-size row blocks whether one thread
+or eight evaluate them, each block's NumPy reduction runs over the same
+operands in the same order, and the per-block results are concatenated
+in index order (``ThreadPoolExecutor.map`` preserves input order).
+Floating-point non-associativity therefore never enters the picture —
+no result ever sums across a worker boundary.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional
+
+import numpy as np
+
+
+class BatchEvaluator:
+    """Evaluates candidate batches in fixed-size chunks, optionally threaded.
+
+    Bind one to an optimizer via
+    :meth:`~repro.orchestrator.optimizers.Optimizer.bind_evaluator`;
+    the pipeline does this when built with ``parallelism > 1``.
+    """
+
+    def __init__(self, parallelism: int = 1, chunk: int = 8):
+        if parallelism < 1:
+            raise ValueError("parallelism must be at least 1")
+        if chunk < 1:
+            raise ValueError("chunk must be at least 1")
+        self.parallelism = int(parallelism)
+        self.chunk = int(chunk)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        #: Lifetime counters for telemetry / tests.
+        self.batches = 0
+        self.chunks_evaluated = 0
+
+    def _chunks(self, batch: np.ndarray) -> List[np.ndarray]:
+        return [
+            batch[i : i + self.chunk]
+            for i in range(0, batch.shape[0], self.chunk)
+        ]
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.parallelism,
+                thread_name_prefix="surfos-eval",
+            )
+        return self._pool
+
+    def value_many(self, objective, batch: np.ndarray) -> np.ndarray:
+        """Evaluate a ``(N, D)`` candidate batch; returns ``(N,)`` losses."""
+        batch = np.atleast_2d(np.asarray(batch, dtype=float))
+        chunks = self._chunks(batch)
+        self.batches += 1
+        self.chunks_evaluated += len(chunks)
+        if self.parallelism == 1 or len(chunks) == 1:
+            parts = [np.asarray(objective.value_many(c)) for c in chunks]
+        else:
+            pool = self._ensure_pool()
+            parts = [
+                np.asarray(p)
+                for p in pool.map(objective.value_many, chunks)
+            ]
+        return np.concatenate([np.atleast_1d(p) for p in parts])
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "BatchEvaluator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

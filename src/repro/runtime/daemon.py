@@ -58,10 +58,14 @@ class SurfOSDaemon:
         clock: Optional[SimClock] = None,
         degradation_threshold_db: float = 8.0,
         observe_room: Optional[str] = None,
+        pipeline=None,
     ):
         self.orchestrator = orchestrator
         self.telemetry = getattr(orchestrator, "telemetry", None) or Telemetry()
         self.clock = clock or SimClock()
+        #: Optional request pipeline; when set, triggers are coalesced
+        #: through it instead of reoptimizing immediately.
+        self.pipeline = pipeline
         self.bus = dynamics.bus if dynamics else EventBus()
         self.dynamics = dynamics
         self.monitor = monitor or ChannelMonitor(
@@ -147,6 +151,13 @@ class SurfOSDaemon:
     def step(self, dt: float = 0.5) -> Optional[ReactionRecord]:
         """One daemon cycle: advance dynamics, observe, react if needed.
 
+        With a request pipeline attached, triggers route through its
+        coalescing window — several triggers landing within the window
+        are absorbed by one joint reoptimization — and the returned
+        reaction record (when the pipeline fired this cycle) measures
+        detection at the *earliest* coalesced trigger.  Without a
+        pipeline the daemon reoptimizes immediately, as before.
+
         Returns the reaction record when a re-optimization happened.
         """
         self.clock.advance(dt)
@@ -167,6 +178,10 @@ class SurfOSDaemon:
         elif degraded and self._dirty:
             trigger = "channel-degraded"
         else:
+            trigger = None
+        if self.pipeline is not None:
+            return self._step_pipelined(trigger, snrs_before)
+        if trigger is None:
             return None
         detected_at = self.clock.now
         try:
@@ -210,6 +225,60 @@ class SurfOSDaemon:
             reaction_latency_s=record.reaction_latency_s,
             median_snr_before_db=record.median_snr_before_db,
             median_snr_after_db=record.median_snr_after_db,
+        )
+        return record
+
+    def _step_pipelined(
+        self, trigger: Optional[str], snrs_before: np.ndarray
+    ) -> Optional[ReactionRecord]:
+        """Route this cycle's trigger through the request pipeline.
+
+        The pipeline owns coalescing: the trigger is noted, the dirty
+        flags clear immediately, and the single tick below may or may
+        not fire a joint reoptimization depending on the window.
+        """
+        if trigger is not None:
+            self.pipeline.note_trigger(trigger, now=self.clock.now)
+            if trigger in ("surface-degraded", "channel-degraded"):
+                self.orchestrator.mark_dirty()  # environment-wide
+            self._dirty = False
+            self._mobility_dirty = False
+            self._fault_dirty = False
+        tick = self.pipeline.tick(self.clock.now)
+        if tick.failure_reason:
+            self.reoptimize_failures += 1
+            self.telemetry.counter("daemon.reoptimize_failures")
+            self.telemetry.event(
+                "daemon.reoptimize_failed",
+                trigger=tick.primary_trigger or (trigger or "pipeline"),
+                error=tick.failure_reason,
+            )
+            return None
+        if not tick.reoptimized:
+            return None
+        snrs_after = self.observe()
+        record = ReactionRecord(
+            detected_at=(
+                tick.first_trigger_at
+                if tick.first_trigger_at is not None
+                else self.clock.now
+            ),
+            completed_at=self.orchestrator.clock_now,
+            trigger=tick.primary_trigger or (trigger or "pipeline"),
+            median_snr_before_db=float(np.median(snrs_before)),
+            median_snr_after_db=float(np.median(snrs_after)),
+        )
+        self.reactions.append(record)
+        self.telemetry.counter("daemon.reactions")
+        self.telemetry.event(
+            "daemon.reaction",
+            trigger=record.trigger,
+            detected_at=record.detected_at,
+            completed_at=record.completed_at,
+            reaction_latency_s=record.reaction_latency_s,
+            median_snr_before_db=record.median_snr_before_db,
+            median_snr_after_db=record.median_snr_after_db,
+            coalesced=len(tick.coalesced),
         )
         return record
 

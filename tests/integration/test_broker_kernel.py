@@ -125,6 +125,37 @@ class TestBroker:
         assert served in system.broker.unsatisfied()
 
 
+class TestHandleAPI:
+    """The redesigned broker surface: handles in, typed responses out."""
+
+    def test_register_returns_service_handle(self, system):
+        from repro.broker import HandleStatus, ServiceHandle
+
+        handle = system.serve_application("video_streaming", "phone", "bedroom")
+        assert isinstance(handle, ServiceHandle)
+        assert handle.key == "video_streaming@phone"
+        assert handle.status is HandleStatus.ADMITTED
+        system.reoptimize()
+        assert handle.status is HandleStatus.RUNNING
+        assert handle.satisfaction()["app"] == "video_streaming"
+
+    def test_stop_returns_typed_response(self, system):
+        from repro.broker import RequestStatus, ServiceResponse
+
+        system.serve_application("video_streaming", "phone", "bedroom")
+        response = system.broker.stop_application("video_streaming", "phone")
+        assert isinstance(response, ServiceResponse)
+        assert response.status is RequestStatus.STOPPED
+        assert response.ok
+
+    def test_legacy_attribute_access_warns(self, system):
+        handle = system.serve_application("video_streaming", "phone", "bedroom")
+        with pytest.warns(DeprecationWarning, match="ServedApplication"):
+            assert handle.active
+        with pytest.warns(DeprecationWarning):
+            assert handle.demand.app_name == "video_streaming"
+
+
 class TestDaemon:
     def test_daemon_reacts_to_blockage(self, system):
         system.orchestrator.optimize_coverage("bedroom")

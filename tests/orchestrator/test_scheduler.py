@@ -150,3 +150,85 @@ class TestLifecycleOps:
         b = sched.admit(make_task(priority=9), [full_slice("s2")])
         listed = sched.tasks()
         assert listed[0] is b and listed[1] is a
+
+
+class TestReapReadyRegression:
+    """Expired READY tasks must free their slices (the slice leak)."""
+
+    def test_expired_ready_task_is_reaped_and_slices_freed(self, sched):
+        # Admitted but never started: exactly the state a request parked
+        # behind a coalescing window sits in when its duration lapses.
+        parked = sched.admit(make_task(duration=5.0), [full_slice("s1")])
+        assert parked.state is TaskState.READY
+        finished = sched.reap_expired(now=6.0)
+        assert finished == [parked.task_id]
+        assert parked.state is TaskState.COMPLETED
+        # The leak: before the fix these slices stayed registered
+        # forever, blocking every future admission on the surface.
+        assert sched.allocator.tasks_with_allocations() == []
+        replacement = sched.admit(make_task(), [full_slice("s1")])
+        assert replacement.state is TaskState.READY
+
+    def test_reaped_counter_emitted(self):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        sched = Scheduler(telemetry=telemetry)
+        sched.admit(make_task(duration=1.0), [full_slice("s1")])
+        sched.reap_expired(now=2.0)
+        counters = telemetry.snapshot().counters
+        assert counters["scheduler.reaped"] == 1
+
+
+class TestBatchAdmission:
+    def test_batch_admits_in_priority_order(self, sched):
+        low = make_task(priority=2, t0=0.0)
+        high = make_task(priority=8, t0=1.0)
+        outcomes = sched.admit_batch(
+            [(low, [full_slice()]), (high, [full_slice()])]
+        )
+        # Priority order: high admitted first, low then failed (no
+        # preemption of an equal-or-higher task).
+        assert outcomes[high.task_id] is None
+        assert outcomes[low.task_id] is not None
+        assert high.state is TaskState.READY
+        assert low.state is TaskState.FAILED
+
+    def test_batch_failure_does_not_abort_rest(self, sched):
+        a = make_task(priority=5)
+        b = make_task(priority=5)
+        c = make_task(priority=5)
+        outcomes = sched.admit_batch(
+            [
+                (a, [full_slice("s1")]),
+                (b, [full_slice("s1")]),  # conflicts with a
+                (c, [full_slice("s2")]),
+            ]
+        )
+        assert outcomes[a.task_id] is None
+        assert outcomes[b.task_id] is not None
+        assert outcomes[c.task_id] is None
+
+    def test_batch_shared_group_all_admitted(self, sched):
+        tasks = [make_task() for _ in range(4)]
+        outcomes = sched.admit_batch(
+            [(t, [full_slice(group="joint")]) for t in tasks]
+        )
+        assert all(reason is None for reason in outcomes.values())
+        assert len(sched.tasks(TaskState.READY)) == 4
+
+    def test_batch_telemetry_counters(self):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        sched = Scheduler(telemetry=telemetry)
+        sched.admit_batch(
+            [
+                (make_task(), [full_slice("s1")]),
+                (make_task(), [full_slice("s1")]),
+            ]
+        )
+        counters = telemetry.snapshot().counters
+        assert counters["scheduler.batch_admissions"] == 1
+        assert counters["scheduler.batch_admitted_tasks"] == 2
+        assert counters["scheduler.batch_failures"] == 1

@@ -1,0 +1,63 @@
+"""Shared fixtures: a small apartment kernel for pipeline tests."""
+
+import pytest
+
+from repro import SurfOS, ghz
+from repro.broker.calls import reset_request_counter
+from repro.geometry import apartment_sites, two_room_apartment
+from repro.hwmgr import AccessPoint, ClientDevice
+from repro.orchestrator import RandomSearch
+from repro.orchestrator.tasks import reset_task_counter
+from repro.surfaces import GENERIC_PROGRAMMABLE_28, SurfacePanel
+
+FREQ = ghz(28)
+
+
+def build_kernel(clients=4, panel_size=8, seed=0):
+    """A booted kernel with ``clients`` devices in the bedroom.
+
+    Resets the module-level task/request counters so repeated builds
+    inside one test see identical ids (the determinism tests diff two
+    runs' telemetry byte for byte).
+    """
+    reset_task_counter()
+    reset_request_counter()
+    env = two_room_apartment()
+    sites = apartment_sites()
+    system = SurfOS(
+        env,
+        frequency_hz=FREQ,
+        optimizer=RandomSearch(max_iterations=6, seed=seed),
+        grid_spacing_m=1.0,
+    )
+    system.add_access_point(
+        AccessPoint(
+            "ap", sites.ap_position, 4, FREQ, boresight=(1.0, 0.3, 0.0)
+        )
+    )
+    system.add_surface(
+        SurfacePanel(
+            "s1",
+            GENERIC_PROGRAMMABLE_28,
+            panel_size,
+            panel_size,
+            sites.single_surface_center,
+            sites.single_surface_normal,
+        )
+    )
+    positions = [
+        (6.5, 1.5, 1.0),
+        (6.0, 2.5, 1.0),
+        (7.2, 1.1, 1.0),
+        (5.6, 3.0, 1.0),
+        (7.8, 2.2, 1.0),
+        (5.2, 0.9, 1.0),
+    ]
+    for i in range(clients):
+        system.add_client(ClientDevice(f"cl-{i}", positions[i % len(positions)]))
+    return system.boot(observe_room="bedroom")
+
+
+@pytest.fixture()
+def system():
+    return build_kernel()

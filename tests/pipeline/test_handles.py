@@ -1,0 +1,154 @@
+"""ServiceHandle lifecycle, typed request/response, and the legacy shim."""
+
+import pytest
+
+from repro.broker import (
+    ApplicationDemand,
+    HandleStatus,
+    RequestStatus,
+    ServiceRequest,
+    ServiceResponse,
+)
+from repro.core.errors import ServiceError
+from repro.pipeline import PipelineConfig
+
+
+def demand(i=0, priority=5):
+    return ApplicationDemand(
+        app_name=f"app-{i}",
+        client_id=f"cl-{i}",
+        room_id="bedroom",
+        throughput_mbps=10.0,
+        priority=priority,
+    )
+
+
+class TestRequestResponse:
+    def test_request_ids_are_sequential_and_key_is_stable(self):
+        a = ServiceRequest(demand=demand(0))
+        b = ServiceRequest(demand=demand(1))
+        assert a.request_id != b.request_id
+        assert a.key == "app-0@cl-0"
+
+    def test_request_is_immutable(self):
+        req = ServiceRequest(demand=demand())
+        with pytest.raises(AttributeError):
+            req.priority = 9
+
+    def test_response_truthiness_tracks_status(self):
+        req = ServiceRequest(demand=demand())
+        ok = ServiceResponse(status=RequestStatus.ADMITTED, request=req)
+        bad = ServiceResponse(
+            status=RequestStatus.REJECTED, request=req, reason="no"
+        )
+        assert ok and ok.ok
+        assert not bad and not bad.ok
+
+
+class TestDirectRegistration:
+    def test_register_returns_admitted_handle(self, system):
+        handle = system.broker.register_application(demand())
+        # Without a pipeline nothing solves yet: admitted, not running.
+        assert handle.status is HandleStatus.ADMITTED
+        assert handle.task_ids
+        system.orchestrator.reoptimize(now=0.0, rounds=1)
+        assert handle.status is HandleStatus.RUNNING
+        report = handle.satisfaction()
+        assert report["app"] == "app-0"
+
+    def test_duplicate_registration_raises(self, system):
+        system.broker.register_application(demand())
+        with pytest.raises(ServiceError):
+            system.broker.register_application(demand())
+
+    def test_stop_returns_typed_response(self, system):
+        handle = system.broker.register_application(demand())
+        response = system.broker.stop_application("app-0", "cl-0")
+        assert isinstance(response, ServiceResponse)
+        assert response.status is RequestStatus.STOPPED
+        assert handle.status is HandleStatus.STOPPED
+
+    def test_stop_unknown_app_raises(self, system):
+        with pytest.raises(ServiceError):
+            system.broker.stop_application("ghost", "cl-0")
+
+    def test_applications_lists_handles(self, system):
+        system.broker.register_application(demand(0))
+        system.broker.register_application(demand(1))
+        apps = system.broker.applications()
+        assert {h.key for h in apps} == {"app-0@cl-0", "app-1@cl-1"}
+        assert all(h.status is HandleStatus.ADMITTED for h in apps)
+
+
+class TestPipelinedLifecycle:
+    def test_status_walks_queued_admitted_running(self, system):
+        pipeline = system.attach_pipeline(
+            PipelineConfig(coalesce_window_s=0.3)
+        )
+        handle = pipeline.submit(demand())
+        assert handle.status is HandleStatus.QUEUED
+        assert handle.submitted_at == pytest.approx(pipeline.clock.now)
+        pipeline.clock.advance(0.1)
+        pipeline.tick()
+        assert handle.status is HandleStatus.ADMITTED
+        assert handle.admitted_at == pytest.approx(pipeline.clock.now)
+        pipeline.clock.advance(0.3)
+        pipeline.tick()
+        assert handle.status is HandleStatus.RUNNING
+        assert handle.served_at >= handle.admitted_at
+
+    def test_satisfaction_before_admission_raises(self, system):
+        pipeline = system.attach_pipeline(PipelineConfig())
+        handle = pipeline.submit(demand())
+        with pytest.raises(ServiceError):
+            handle.satisfaction()
+
+    def test_wait_pumps_the_clock_until_served(self, system):
+        pipeline = system.attach_pipeline(
+            PipelineConfig(coalesce_window_s=0.2)
+        )
+        handle = pipeline.submit(demand())
+        assert handle.wait(timeout_s=5.0, dt=0.1) is HandleStatus.RUNNING
+
+    def test_wait_times_out_without_ticks(self, system):
+        pipeline = system.attach_pipeline(
+            PipelineConfig(coalesce_window_s=50.0)
+        )
+        handle = pipeline.submit(demand())
+        settled = handle.wait(timeout_s=0.5, dt=0.1)
+        assert settled is HandleStatus.ADMITTED
+
+    def test_stop_running_handle_releases_key(self, system):
+        pipeline = system.attach_pipeline(
+            PipelineConfig(coalesce_window_s=0.0)
+        )
+        handle = pipeline.submit(demand())
+        handle.wait(timeout_s=5.0, dt=0.5)
+        response = handle.stop()
+        assert response.status is RequestStatus.STOPPED
+        assert handle.status is HandleStatus.STOPPED
+        again = pipeline.submit(demand())
+        assert again.wait(timeout_s=5.0, dt=0.5) is HandleStatus.RUNNING
+
+
+class TestLegacyShim:
+    def test_legacy_attributes_warn_but_work(self, system):
+        handle = system.broker.register_application(demand())
+        with pytest.warns(DeprecationWarning, match="ServedApplication"):
+            legacy_demand = handle.demand
+        assert legacy_demand.app_name == "app-0"
+        with pytest.warns(DeprecationWarning):
+            assert handle.active
+        with pytest.warns(DeprecationWarning):
+            legacy_tasks = handle.tasks
+        assert [t.task_id for t in legacy_tasks] == handle.task_ids
+
+    def test_new_surface_does_not_warn(self, system, recwarn):
+        handle = system.broker.register_application(demand())
+        handle.status
+        handle.task_ids
+        handle.satisfaction()
+        deprecations = [
+            w for w in recwarn.list if w.category is DeprecationWarning
+        ]
+        assert deprecations == []
