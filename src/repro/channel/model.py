@@ -147,6 +147,15 @@ class ChannelModel:
         """M AP antennas."""
         return self._num_antennas
 
+    @property
+    def num_legs(self) -> int:
+        """Total traced legs: direct + 2 per surface + cascade pairs.
+
+        The denominator for the simulator's incremental-rebuild
+        accounting (``channel.legs_retraced`` out of ``num_legs``).
+        """
+        return 1 + 2 * len(self.ap_to_surface) + len(self.surface_to_surface)
+
     def num_elements(self, surface_id: str) -> int:
         """Element count of one surface."""
         return self.ap_to_surface[surface_id].shape[1]

@@ -5,16 +5,50 @@ uses: given surface specifications and the 3-D environment model, it
 outputs the channel matrices between the surfaces and endpoints on the
 relevant frequency bands (§3.2 "Modeling interactions").
 
-Channel builds are cached against the environment's mutation counter,
-so the runtime daemon pays for re-tracing only when geometry actually
-changed.
+Channel builds are cached at **two levels**:
+
+* A *model cache* keyed on the exact (environment version, AP, points,
+  panels) tuple returns a previously assembled
+  :class:`~repro.channel.model.ChannelModel` wholesale.
+* A *leg cache* keys every traced leg on what that leg physically
+  depends on: digests of its endpoint geometry plus the digests of the
+  panel obstacles whose footprint intersects the leg's ray corridor.
+  ``ap→surface`` and ``surface→surface`` legs are independent of the
+  client points, so a client move re-traces only the ``direct`` and
+  ``surface→points`` legs and reassembles the rest from cache; a
+  single-panel change re-traces only the legs touching that panel.
+
+Environment mutations are reconciled through
+:meth:`~repro.geometry.environment.Environment.dirty_regions`: each
+mutation records the AABB it touched, and the simulator purges only the
+cached legs whose corridor intersects a changed region (legs that trace
+wall reflections are treated as unbounded).  Mutations the environment
+cannot attribute fall back to a full leg-cache purge — never a stale
+answer.
+
+Cold builds can fan the independent per-leg traces across a thread
+pool (``parallel_workers``; numpy releases the GIL inside the
+vectorized geometry kernels).  Assembly is order-preserving, so the
+result is bit-identical to a serial build at any worker count.
 """
 
 from __future__ import annotations
 
 import hashlib
+import time
 from collections import OrderedDict
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -24,14 +58,21 @@ from ..surfaces.panel import SurfacePanel
 from ..surfaces.specs import OperationMode
 from ..telemetry import Telemetry
 from .links import (
+    aabb_overlap,
     elements_to_elements,
     elements_to_points,
+    leg_aabb,
     node_to_elements,
     node_to_points,
 )
 from .model import ChannelModel
 from .nodes import RadioNode
 from .tracer import PanelObstacle
+
+#: Inflation (m) applied to leg corridors and obstacle footprints so
+#: the AABB intersection tests stay conservative against the geometry
+#: kernels' epsilon tolerances.
+_CORRIDOR_PAD = 1e-3
 
 
 def _points_digest(points: np.ndarray) -> str:
@@ -40,14 +81,80 @@ def _points_digest(points: np.ndarray) -> str:
 
 
 def _panel_digest(panel: SurfacePanel) -> str:
-    parts = (
-        panel.panel_id,
-        panel.spec.design,
-        str(panel.shape),
-        np.array2string(panel.center, precision=6),
-        np.array2string(panel.normal, precision=6),
+    """Digest of everything that shapes a panel's element geometry.
+
+    Hashes the raw float bytes of ``center``/``normal``/``up`` (a
+    rendered ``precision=6`` string would collide panels differing
+    only beyond 1e-6) plus the lattice shape, pitch, element pattern,
+    and operation mode — so a re-oriented or re-gridded panel can
+    never serve another panel's cached legs.
+    """
+    h = hashlib.sha1()
+    h.update(panel.panel_id.encode())
+    h.update(panel.spec.design.encode())
+    h.update(repr(panel.shape).encode())
+    for vec in (panel.center, panel.normal, panel.up):
+        h.update(np.ascontiguousarray(np.asarray(vec, dtype=float)).tobytes())
+    h.update(
+        repr(
+            (
+                panel.spec.element_pitch_m,
+                panel.spec.element_gain_dbi,
+                panel.spec.element_cos_exponent,
+                panel.spec.operation_mode.name,
+            )
+        ).encode()
     )
-    return "|".join(parts)
+    return h.hexdigest()
+
+
+def _node_digest(node: RadioNode) -> str:
+    """Digest of a radio node's antenna geometry and pattern."""
+    h = hashlib.sha1()
+    h.update(node.node_id.encode())
+    h.update(np.ascontiguousarray(node.positions, dtype=float).tobytes())
+    h.update(np.ascontiguousarray(node.boresight, dtype=float).tobytes())
+    p = node.pattern
+    h.update(repr((p.peak_gain_linear, p.cos_exponent, p.front_only)).encode())
+    return h.hexdigest()
+
+
+def _panel_aabb(
+    panel: SurfacePanel, pad: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """AABB of the panel rectangle, inflated by ``pad``."""
+    u, v = panel.plane_axes()
+    extent = np.abs(u) * (panel.width_m / 2.0) + np.abs(v) * (
+        panel.height_m / 2.0
+    )
+    return panel.center - extent - pad, panel.center + extent + pad
+
+
+@dataclass
+class _LegEntry:
+    """One cached leg: the traced gains plus its ray-corridor AABB.
+
+    ``lo is None`` marks an unbounded corridor (reflection-enriched
+    direct legs bounce off walls anywhere in the scene), which any
+    attributed environment mutation purges.
+    """
+
+    value: np.ndarray
+    lo: Optional[np.ndarray]
+    hi: Optional[np.ndarray]
+
+
+@dataclass
+class _LegTask:
+    """One leg the current build needs (cached or about to be traced)."""
+
+    slot: Tuple[str, ...]
+    name: str
+    key: str
+    lo: Optional[np.ndarray]
+    hi: Optional[np.ndarray]
+    fn: Callable[[], np.ndarray]
+    attrs: Dict[str, object] = field(default_factory=dict)
 
 
 class ChannelSimulator:
@@ -63,9 +170,15 @@ class ChannelSimulator:
             blocking hazard).
         max_cascade_distance_m: skip surface-pair interactions farther
             apart than this (their second-order term is negligible).
-        cache_size: LRU bound on cached channel builds; the oldest
-            entry is evicted when exceeded, and entries built against
-            a stale environment version are purged eagerly.
+        cache_size: LRU bound on cached (assembled) channel models; the
+            oldest entry is evicted when exceeded, and entries built
+            against a stale environment version are purged eagerly.
+        leg_cache_size: LRU bound on individually cached legs; ``0``
+            disables leg caching entirely (the old monolithic
+            behavior — every model-cache miss re-traces all legs).
+        parallel_workers: trace missing legs through a thread pool of
+            this size (``<=1`` = serial).  Results are bit-identical
+            to serial at any worker count.
         telemetry: where cache counters and per-leg trace spans go;
             defaults to a private instance.
     """
@@ -78,30 +191,45 @@ class ChannelSimulator:
         include_panel_blockage: bool = True,
         max_cascade_distance_m: float = 30.0,
         cache_size: int = 32,
+        leg_cache_size: int = 512,
+        parallel_workers: int = 0,
         telemetry: Optional[Telemetry] = None,
     ):
         if frequency_hz <= 0:
             raise SimulationError("carrier frequency must be positive")
         if cache_size < 1:
             raise SimulationError("cache_size must be at least 1")
+        if leg_cache_size < 0:
+            raise SimulationError("leg_cache_size must be >= 0")
         self.env = env
         self.frequency_hz = frequency_hz
         self.include_reflections = include_reflections
         self.include_panel_blockage = include_panel_blockage
         self.max_cascade_distance_m = max_cascade_distance_m
         self.cache_size = cache_size
+        self.leg_cache_size = leg_cache_size
+        self.parallel_workers = parallel_workers
         self.telemetry = telemetry or Telemetry()
         self._cache: "OrderedDict[str, Tuple[int, ChannelModel]]" = OrderedDict()
         self._cache_hits = 0
         self._cache_misses = 0
         self._last_version = env.version
+        self._legs: "OrderedDict[str, _LegEntry]" = OrderedDict()
+        self._leg_version = env.version
+        self._leg_hits = 0
+        self._legs_retraced = 0
 
     # ------------------------------------------------------------------
 
     @property
     def cache_stats(self) -> Tuple[int, int]:
-        """(hits, misses) of the channel-build cache."""
+        """(hits, misses) of the assembled-model cache."""
         return (self._cache_hits, self._cache_misses)
+
+    @property
+    def leg_cache_stats(self) -> Tuple[int, int]:
+        """(legs served from cache, legs traced) since construction."""
+        return (self._leg_hits, self._legs_retraced)
 
     def _cache_key(
         self,
@@ -111,8 +239,7 @@ class ChannelSimulator:
     ) -> str:
         parts = [
             str(self.env.version),
-            ap.node_id,
-            _points_digest(ap.positions),
+            _node_digest(ap),
             _points_digest(points),
         ]
         parts.extend(sorted(_panel_digest(p) for p in panels))
@@ -140,14 +267,17 @@ class ChannelSimulator:
     ) -> ChannelModel:
         """Trace all legs and assemble the cascade channel model.
 
-        ``points`` is ``(K, 3)``.  Results are cached until the
-        environment or any panel geometry changes.
+        ``points`` is ``(K, 3)``.  Assembled models are cached until
+        the environment or any panel geometry changes; individual legs
+        outlive that, invalidated only when a change intersects their
+        ray corridor.
         """
         points = np.atleast_2d(np.asarray(points, dtype=float))
         ids = [p.panel_id for p in panels]
         if len(set(ids)) != len(ids):
             raise SimulationError(f"duplicate panel ids: {ids}")
         self._purge_stale()
+        self._sync_leg_cache()
         key = self._cache_key(ap, points, panels)
         cached = self._cache.get(key)
         if cached is not None:
@@ -158,71 +288,312 @@ class ChannelSimulator:
         self._cache_misses += 1
         self.telemetry.counter("channel.cache_misses")
 
-        freq = self.frequency_hz
-        with self.telemetry.span(
-            "channel-trace", points=int(points.shape[0]), panels=len(panels)
-        ):
-            with self.telemetry.span("direct"):
-                direct = node_to_points(
-                    self.env,
+        model = self._assemble(ap, points, panels)
+
+        # Evict before inserting so the cache never transiently exceeds
+        # its bound and the new entry can't push out a live one's slot.
+        while len(self._cache) >= self.cache_size:
+            self._cache.popitem(last=False)
+            self.telemetry.counter("channel.cache_evictions")
+        self._cache[key] = (self.env.version, model)
+        self.telemetry.gauge("channel.cache_size", len(self._cache))
+        return model
+
+    # ------------------------------------------------------------------
+    # leg-level build
+    # ------------------------------------------------------------------
+
+    def _plan_legs(
+        self,
+        ap: RadioNode,
+        points: np.ndarray,
+        panels: Sequence[SurfacePanel],
+    ) -> List[_LegTask]:
+        """Every leg this build needs, with cache keys and corridors."""
+        env, freq = self.env, self.frequency_hz
+        pad = _CORRIDOR_PAD
+        digests = {p.panel_id: _panel_digest(p) for p in panels}
+        bounds = {p.panel_id: _panel_aabb(p, pad) for p in panels}
+        ap_digest = _node_digest(ap)
+        pts_digest = _points_digest(points)
+
+        def obstacle_digest(
+            excluded: Tuple[str, ...],
+            lo: Optional[np.ndarray],
+            hi: Optional[np.ndarray],
+        ) -> str:
+            # Only obstacles whose footprint intersects the leg's ray
+            # corridor can perturb it; panels outside stay out of the
+            # key, so their motion never invalidates this leg.
+            if not self.include_panel_blockage:
+                return "-"
+            parts = []
+            for q in panels:
+                if q.panel_id in excluded:
+                    continue
+                if lo is not None:
+                    q_lo, q_hi = bounds[q.panel_id]
+                    if not aabb_overlap(lo, hi, q_lo, q_hi):
+                        continue
+                parts.append(digests[q.panel_id])
+            return hashlib.sha1("|".join(sorted(parts)).encode()).hexdigest()
+
+        def leg_key(*parts: str) -> str:
+            return hashlib.sha1("||".join(parts).encode()).hexdigest()
+
+        plan: List[_LegTask] = []
+
+        # Direct leg: unbounded corridor when wall reflections are on
+        # (bounce segments reach anywhere in the scene).
+        if self.include_reflections:
+            d_lo: Optional[np.ndarray] = None
+            d_hi: Optional[np.ndarray] = None
+        else:
+            d_lo, d_hi = leg_aabb(ap.positions, points, pad=pad)
+        direct_obstacles = self._obstacles_excluding(panels, ())
+        plan.append(
+            _LegTask(
+                slot=("direct",),
+                name="direct",
+                key=leg_key(
+                    "direct",
+                    ap_digest,
+                    pts_digest,
+                    obstacle_digest((), d_lo, d_hi),
+                ),
+                lo=d_lo,
+                hi=d_hi,
+                fn=lambda obs=direct_obstacles: node_to_points(
+                    env,
                     ap,
                     points,
                     freq,
-                    panel_obstacles=self._obstacles_excluding(panels, ()),
+                    panel_obstacles=obs,
                     include_reflections=self.include_reflections,
+                ),
+            )
+        )
+
+        for panel in panels:
+            pid = panel.panel_id
+            others = self._obstacles_excluding(panels, (panel,))
+            a_lo, a_hi = leg_aabb(
+                ap.positions, bounds[pid][0], bounds[pid][1], pad=0.0
+            )
+            plan.append(
+                _LegTask(
+                    slot=("a2s", pid),
+                    name="ap-to-surface",
+                    attrs={"panel": pid},
+                    key=leg_key(
+                        "a2s",
+                        ap_digest,
+                        digests[pid],
+                        obstacle_digest((pid,), a_lo, a_hi),
+                    ),
+                    lo=a_lo,
+                    hi=a_hi,
+                    fn=lambda p=panel, obs=others: node_to_elements(
+                        env, ap, p, freq, panel_obstacles=obs
+                    ),
                 )
-            ap_to_surface: Dict[str, np.ndarray] = {}
-            surface_to_points: Dict[str, np.ndarray] = {}
-            for panel in panels:
-                others = self._obstacles_excluding(panels, (panel,))
-                with self.telemetry.span("ap-to-surface", panel=panel.panel_id):
-                    ap_to_surface[panel.panel_id] = node_to_elements(
-                        self.env, ap, panel, freq, panel_obstacles=others
+            )
+            s_lo, s_hi = leg_aabb(
+                points, bounds[pid][0], bounds[pid][1], pad=0.0
+            )
+            plan.append(
+                _LegTask(
+                    slot=("s2p", pid),
+                    name="surface-to-points",
+                    attrs={"panel": pid},
+                    key=leg_key(
+                        "s2p",
+                        digests[pid],
+                        pts_digest,
+                        obstacle_digest((pid,), s_lo, s_hi),
+                    ),
+                    lo=s_lo,
+                    hi=s_hi,
+                    fn=lambda p=panel, obs=others: elements_to_points(
+                        env, p, points, freq, panel_obstacles=obs
+                    ),
+                )
+            )
+
+        for source in panels:
+            for target in panels:
+                if source.panel_id == target.panel_id:
+                    continue
+                gap = float(np.linalg.norm(source.center - target.center))
+                if gap > self.max_cascade_distance_m:
+                    continue
+                if not self._panels_face_each_other(source, target):
+                    continue
+                sid, tid = source.panel_id, target.panel_id
+                others = self._obstacles_excluding(panels, (source, target))
+                p_lo, p_hi = leg_aabb(
+                    bounds[sid][0],
+                    bounds[sid][1],
+                    bounds[tid][0],
+                    bounds[tid][1],
+                    pad=0.0,
+                )
+                plan.append(
+                    _LegTask(
+                        slot=("s2s", sid, tid),
+                        name="surface-to-surface",
+                        attrs={"source": sid, "target": tid},
+                        key=leg_key(
+                            "s2s",
+                            digests[sid],
+                            digests[tid],
+                            obstacle_digest((sid, tid), p_lo, p_hi),
+                        ),
+                        lo=p_lo,
+                        hi=p_hi,
+                        fn=lambda s=source, t=target, obs=others: (
+                            elements_to_elements(
+                                env, s, t, freq, panel_obstacles=obs
+                            )
+                        ),
                     )
-                with self.telemetry.span(
-                    "surface-to-points", panel=panel.panel_id
-                ):
-                    surface_to_points[panel.panel_id] = elements_to_points(
-                        self.env, panel, points, freq, panel_obstacles=others
+                )
+        return plan
+
+    def _assemble(
+        self,
+        ap: RadioNode,
+        points: np.ndarray,
+        panels: Sequence[SurfacePanel],
+    ) -> ChannelModel:
+        """Serve legs from the leg cache, trace the rest, assemble."""
+        plan = self._plan_legs(ap, points, panels)
+        use_legs = self.leg_cache_size > 0
+        values: Dict[Tuple[str, ...], np.ndarray] = {}
+        tasks: List[_LegTask] = []
+        for task in plan:
+            entry = self._legs.get(task.key) if use_legs else None
+            if entry is not None:
+                self._legs.move_to_end(task.key)
+                values[task.slot] = entry.value
+            else:
+                tasks.append(task)
+        hits = len(plan) - len(tasks)
+        self._leg_hits += hits
+        self._legs_retraced += len(tasks)
+        if hits:
+            self.telemetry.counter("channel.leg_cache_hits", hits)
+            self.telemetry.counter("channel.partial_rebuilds")
+        if tasks:
+            self.telemetry.counter("channel.legs_retraced", len(tasks))
+
+        with self.telemetry.span(
+            "channel-trace",
+            points=int(points.shape[0]),
+            panels=len(panels),
+            legs=len(plan),
+            retraced=len(tasks),
+        ):
+            workers = min(self.parallel_workers, len(tasks))
+            if workers > 1:
+                # Parallel cold trace: each leg is independent and the
+                # map is order-preserving, so assembly (and the leg
+                # cache) sees exactly the serial results.  Per-leg
+                # telemetry is emitted post-join, in plan order, from
+                # this thread — span nesting is not thread-safe and
+                # sim-only exports must stay deterministic.
+                def timed(task: _LegTask) -> Tuple[np.ndarray, float]:
+                    t0 = time.perf_counter()
+                    return task.fn(), time.perf_counter() - t0
+
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    traced = list(pool.map(timed, tasks))
+                for task, (value, wall_s) in zip(tasks, traced):
+                    self.telemetry.event(
+                        "leg-trace",
+                        kind=task.name,
+                        wall_trace_s=wall_s,
+                        **task.attrs,
                     )
-            surface_to_surface: Dict[Tuple[str, str], np.ndarray] = {}
-            for source in panels:
-                for target in panels:
-                    if source.panel_id == target.panel_id:
-                        continue
-                    gap = float(np.linalg.norm(source.center - target.center))
-                    if gap > self.max_cascade_distance_m:
-                        continue
-                    if not self._panels_face_each_other(source, target):
-                        continue
-                    others = self._obstacles_excluding(panels, (source, target))
-                    with self.telemetry.span(
-                        "surface-to-surface",
-                        source=source.panel_id,
-                        target=target.panel_id,
-                    ):
-                        surface_to_surface[
-                            (source.panel_id, target.panel_id)
-                        ] = elements_to_elements(
-                            self.env, source, target, freq, panel_obstacles=others
-                        )
-        model = ChannelModel(
+                    values[task.slot] = value
+                    self._store_leg(task, value)
+            else:
+                for task in tasks:
+                    with self.telemetry.span(task.name, **task.attrs):
+                        value = task.fn()
+                    values[task.slot] = value
+                    self._store_leg(task, value)
+        if use_legs:
+            self.telemetry.gauge("channel.leg_cache_size", len(self._legs))
+
+        ap_to_surface: Dict[str, np.ndarray] = {}
+        surface_to_points: Dict[str, np.ndarray] = {}
+        surface_to_surface: Dict[Tuple[str, str], np.ndarray] = {}
+        direct = values[("direct",)]
+        for slot, value in values.items():
+            if slot[0] == "a2s":
+                ap_to_surface[slot[1]] = value
+            elif slot[0] == "s2p":
+                surface_to_points[slot[1]] = value
+            elif slot[0] == "s2s":
+                surface_to_surface[(slot[1], slot[2])] = value
+        return ChannelModel(
             points=points,
             direct=direct,
             ap_to_surface=ap_to_surface,
             surface_to_points=surface_to_points,
             surface_to_surface=surface_to_surface,
-            frequency_hz=freq,
+            frequency_hz=self.frequency_hz,
         )
-        self._cache[key] = (self.env.version, model)
-        while len(self._cache) > self.cache_size:
-            self._cache.popitem(last=False)
-            self.telemetry.counter("channel.cache_evictions")
-        self.telemetry.gauge("channel.cache_size", len(self._cache))
-        return model
+
+    def _store_leg(self, task: _LegTask, value: np.ndarray) -> None:
+        if self.leg_cache_size <= 0:
+            return
+        while len(self._legs) >= self.leg_cache_size:
+            self._legs.popitem(last=False)
+            self.telemetry.counter("channel.leg_cache_evictions")
+        self._legs[task.key] = _LegEntry(value, task.lo, task.hi)
+
+    def _sync_leg_cache(self) -> None:
+        """Reconcile the leg cache with environment mutations.
+
+        Attributed mutations purge only the legs whose ray corridor
+        intersects a dirty region (unbounded legs always); mutations
+        the environment cannot attribute purge everything.
+        """
+        version = self.env.version
+        if version == self._leg_version:
+            return
+        regions = self.env.dirty_regions(self._leg_version)
+        self._leg_version = version
+        if not self._legs:
+            return
+        if regions is None:
+            purged = len(self._legs)
+            self._legs.clear()
+            self.telemetry.counter("channel.leg_cache_full_purges")
+            self.telemetry.counter("channel.legs_purged", purged)
+        else:
+            pad = _CORRIDOR_PAD
+            drop = [
+                key
+                for key, entry in self._legs.items()
+                if entry.lo is None
+                or any(
+                    aabb_overlap(entry.lo, entry.hi, lo - pad, hi + pad)
+                    for lo, hi in regions
+                )
+            ]
+            for key in drop:
+                del self._legs[key]
+            if drop:
+                self.telemetry.counter("channel.legs_purged", len(drop))
+        self.telemetry.gauge("channel.leg_cache_size", len(self._legs))
+
+    # ------------------------------------------------------------------
 
     def _purge_stale(self) -> None:
-        """Eagerly drop entries built against an older environment version.
+        """Eagerly drop models built against an older environment version.
 
         Their keys can never hit again (the key embeds the version), so
         keeping them would only crowd live entries out of the LRU.
@@ -267,19 +638,25 @@ class ChannelSimulator:
         return model.evaluate(configs)[0]
 
     def invalidate(self) -> None:
-        """Drop all cached channel builds and reset hit/miss stats.
+        """Drop all cached models and legs, and reset hit/miss stats.
 
         The monotonic ``channel.cache_invalidations`` counter keeps
-        counting across invalidations; ``cache_stats`` and the
-        ``channel.cache_size`` gauge restart from a clean slate so the
-        numbers after an invalidation describe only the new epoch.
+        counting across invalidations; ``cache_stats``,
+        ``leg_cache_stats``, and the cache-size gauges restart from a
+        clean slate so the numbers after an invalidation describe only
+        the new epoch.
         """
         self._cache.clear()
         self._cache_hits = 0
         self._cache_misses = 0
         self._last_version = self.env.version
+        self._legs.clear()
+        self._leg_version = self.env.version
+        self._leg_hits = 0
+        self._legs_retraced = 0
         self.telemetry.counter("channel.cache_invalidations")
         self.telemetry.gauge("channel.cache_size", 0)
+        self.telemetry.gauge("channel.leg_cache_size", 0)
 
 
 def live_configs(panels: Sequence[SurfacePanel]) -> Dict[str, np.ndarray]:

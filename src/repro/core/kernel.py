@@ -50,6 +50,10 @@ class SurfOS:
     exercise hardware failures; the daemon then reacts to surface
     degradation exactly like it reacts to motion.  Without one, no
     fault code runs at all.
+
+    Pass ``channel_workers`` to fan cold channel-leg traces across a
+    thread pool; results are bit-identical to serial at any worker
+    count, so this is purely a latency knob.
     """
 
     def __init__(
@@ -61,9 +65,12 @@ class SurfOS:
         grid_spacing_m: float = 0.7,
         telemetry: Optional[Telemetry] = None,
         fault_injector=None,
+        channel_workers: int = 0,
     ):
         self.env = env
         self.frequency_hz = frequency_hz
+        #: Thread-pool size for parallel channel-leg tracing (<=1 = serial).
+        self.channel_workers = channel_workers
         self.telemetry = telemetry or Telemetry()
         self.hardware = HardwareManager(
             telemetry=self.telemetry, fault_injector=fault_injector
@@ -111,6 +118,7 @@ class SurfOS:
             optimizer=self._optimizer,
             grid_spacing_m=self._grid_spacing,
             telemetry=self.telemetry,
+            channel_workers=self.channel_workers,
         )
         self.broker = ServiceBroker(self.orchestrator)
         self.translator = IntentTranslator(self.llm)

@@ -11,17 +11,51 @@ Obstacles split into *static* (furniture that is part of the floor
 plan) and *dynamic* (humans, movable furniture) so the runtime layer
 can mutate the latter; every mutation bumps :attr:`Environment.version`
 so channel caches know to invalidate.
+
+Mutations additionally record *which region of space changed* (an
+axis-aligned bounding box) in a bounded dirty log, so incremental
+consumers — the channel simulator's per-leg cache — can purge only the
+cached results whose ray corridors intersect a changed region instead
+of re-tracing the world.  :meth:`Environment.dirty_regions` replays the
+log between two versions; it returns ``None`` whenever the log cannot
+prove the change set (rotated-out entries, or a mutation recorded
+without a region), which consumers must treat as "everything changed".
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .materials import Material
 from .shapes import Box, Room, Wall
 from .vec import as_vec3
+
+#: AABB of one mutated region: ``(lo, hi)`` corners.
+DirtyRegion = Tuple[np.ndarray, np.ndarray]
+
+#: Bound on the dirty log; older mutations rotate out and force a full
+#: purge in consumers that fell that far behind.
+_DIRTY_LOG_LEN = 256
+
+
+def _wall_aabb(wall: Wall) -> DirtyRegion:
+    footprint = np.stack([wall.start, wall.end])
+    lo = footprint.min(axis=0)
+    hi = footprint.max(axis=0)
+    lo[2] = wall.z_min
+    hi[2] = wall.z_max
+    return lo, hi
+
+
+def _box_aabb(box: Box) -> DirtyRegion:
+    return np.array(box.lo, dtype=float), np.array(box.hi, dtype=float)
+
+
+def _union_aabb(a: DirtyRegion, b: DirtyRegion) -> DirtyRegion:
+    return np.minimum(a[0], b[0]), np.maximum(a[1], b[1])
 
 
 class Environment:
@@ -40,6 +74,9 @@ class Environment:
         self._dynamic_boxes: Dict[str, Box] = {}
         self._rooms: Dict[str, Room] = {}
         self._version = 0
+        self._dirty_log: Deque[Tuple[int, Optional[DirtyRegion]]] = deque(
+            maxlen=_DIRTY_LOG_LEN
+        )
 
     # ------------------------------------------------------------------
     # construction
@@ -50,10 +87,49 @@ class Environment:
         """Monotonic counter bumped on every geometry mutation."""
         return self._version
 
+    def record_mutation(self, region: Optional[DirtyRegion] = None) -> int:
+        """Bump :attr:`version`, attributing the change to ``region``.
+
+        Every built-in mutator calls this with the AABB it touched;
+        external code that mutates geometry it handed to the
+        environment (e.g. editing a wall in place) must call it too —
+        without a region, which makes incremental caches fall back to
+        a full purge.  Returns the new version.
+        """
+        self._version += 1
+        self._dirty_log.append((self._version, region))
+        return self._version
+
+    def dirty_regions(self, since_version: int) -> Optional[List[DirtyRegion]]:
+        """The regions mutated after ``since_version``, if provable.
+
+        Returns a (possibly empty) list of AABBs covering every
+        mutation in ``(since_version, version]``, or ``None`` when the
+        log cannot account for all of them — entries rotated out of the
+        bounded log, ``since_version`` from the future, or any mutation
+        recorded without a region.  ``None`` means "assume everything
+        changed".
+        """
+        if since_version == self._version:
+            return []
+        if since_version > self._version:
+            return None
+        covered = [v for v, _ in self._dirty_log if v > since_version]
+        if len(covered) != self._version - since_version:
+            return None  # log rotation left a gap
+        regions: List[DirtyRegion] = []
+        for v, region in self._dirty_log:
+            if v <= since_version:
+                continue
+            if region is None:
+                return None  # unattributed mutation
+            regions.append(region)
+        return regions
+
     def add_wall(self, wall: Wall) -> Wall:
         """Add a wall and return it."""
         self._walls.append(wall)
-        self._version += 1
+        self.record_mutation(_wall_aabb(wall))
         return wall
 
     def add_wall_2d(
@@ -79,30 +155,35 @@ class Environment:
     def add_box(self, box: Box) -> Box:
         """Add a static obstacle."""
         self._static_boxes.append(box)
-        self._version += 1
+        self.record_mutation(_box_aabb(box))
         return box
 
     def add_dynamic_box(self, key: str, box: Box) -> Box:
         """Add or replace a movable obstacle under a stable key."""
+        region = _box_aabb(box)
+        old = self._dynamic_boxes.get(key)
+        if old is not None:
+            region = _union_aabb(region, _box_aabb(old))
         self._dynamic_boxes[key] = box
-        self._version += 1
+        self.record_mutation(region)
         return box
 
     def move_dynamic_box(self, key: str, offset: Sequence[float]) -> Box:
         """Translate a movable obstacle; returns the new box."""
         if key not in self._dynamic_boxes:
             raise KeyError(f"no dynamic obstacle named {key!r}")
-        moved = self._dynamic_boxes[key].translated(as_vec3(offset))
+        old = self._dynamic_boxes[key]
+        moved = old.translated(as_vec3(offset))
         self._dynamic_boxes[key] = moved
-        self._version += 1
+        self.record_mutation(_union_aabb(_box_aabb(old), _box_aabb(moved)))
         return moved
 
     def remove_dynamic_box(self, key: str) -> None:
         """Remove a movable obstacle."""
         if key not in self._dynamic_boxes:
             raise KeyError(f"no dynamic obstacle named {key!r}")
-        del self._dynamic_boxes[key]
-        self._version += 1
+        old = self._dynamic_boxes.pop(key)
+        self.record_mutation(_box_aabb(old))
 
     def add_room(self, room: Room) -> Room:
         """Register a named room region."""

@@ -153,6 +153,8 @@ class SurfaceOrchestrator:
         sensing_angles: int = 61,
         rng: Optional[np.random.Generator] = None,
         telemetry: Optional[Telemetry] = None,
+        channel_workers: int = 0,
+        channel_leg_cache: int = 512,
     ):
         self.env = env
         self.hardware = hardware
@@ -165,7 +167,11 @@ class SurfaceOrchestrator:
         )
         self.telemetry.bind_sim_clock(lambda: self.clock_now)
         self.simulator = ChannelSimulator(
-            env, frequency_hz, telemetry=self.telemetry
+            env,
+            frequency_hz,
+            leg_cache_size=channel_leg_cache,
+            parallel_workers=channel_workers,
+            telemetry=self.telemetry,
         )
         self.scheduler = Scheduler(telemetry=self.telemetry)
         self.optimizer = optimizer or Adam(max_iterations=120)

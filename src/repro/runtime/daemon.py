@@ -40,6 +40,10 @@ class ReactionRecord:
     trigger: str
     median_snr_before_db: float
     median_snr_after_db: float
+    #: Channel legs re-traced while reacting (the rest came from the
+    #: simulator's incremental leg cache); -1 when no simulator stats
+    #: were available.
+    legs_retraced: int = -1
 
     @property
     def reaction_latency_s(self) -> float:
@@ -184,6 +188,7 @@ class SurfOSDaemon:
         if trigger is None:
             return None
         detected_at = self.clock.now
+        legs_before = self._legs_retraced_total()
         try:
             if trigger == "surface-degraded":
                 with self.telemetry.span("degraded-recovery") as span:
@@ -214,6 +219,7 @@ class SurfOSDaemon:
             trigger=trigger,
             median_snr_before_db=float(np.median(snrs_before)),
             median_snr_after_db=float(np.median(snrs_after)),
+            legs_retraced=self._legs_delta(legs_before),
         )
         self.reactions.append(record)
         self.telemetry.counter("daemon.reactions")
@@ -225,8 +231,22 @@ class SurfOSDaemon:
             reaction_latency_s=record.reaction_latency_s,
             median_snr_before_db=record.median_snr_before_db,
             median_snr_after_db=record.median_snr_after_db,
+            legs_retraced=record.legs_retraced,
         )
         return record
+
+    def _legs_retraced_total(self) -> int:
+        """Legs traced so far by the orchestrator's channel simulator."""
+        simulator = getattr(self.orchestrator, "simulator", None)
+        if simulator is None or not hasattr(simulator, "leg_cache_stats"):
+            return -1
+        return int(simulator.leg_cache_stats[1])
+
+    def _legs_delta(self, before: int) -> int:
+        after = self._legs_retraced_total()
+        if before < 0 or after < 0:
+            return -1
+        return after - before
 
     def _step_pipelined(
         self, trigger: Optional[str], snrs_before: np.ndarray
@@ -237,6 +257,7 @@ class SurfOSDaemon:
         flags clear immediately, and the single tick below may or may
         not fire a joint reoptimization depending on the window.
         """
+        legs_before = self._legs_retraced_total()
         if trigger is not None:
             self.pipeline.note_trigger(trigger, now=self.clock.now)
             if trigger in ("surface-degraded", "channel-degraded"):
@@ -267,6 +288,7 @@ class SurfOSDaemon:
             trigger=tick.primary_trigger or (trigger or "pipeline"),
             median_snr_before_db=float(np.median(snrs_before)),
             median_snr_after_db=float(np.median(snrs_after)),
+            legs_retraced=self._legs_delta(legs_before),
         )
         self.reactions.append(record)
         self.telemetry.counter("daemon.reactions")

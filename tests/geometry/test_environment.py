@@ -134,3 +134,66 @@ class TestApartment:
 
         with pytest.raises(ValueError):
             ApartmentLayout(door_lo=3.9, door_hi=3.0)
+
+
+class TestDirtyRegions:
+    """Mutation attribution consumed by the incremental leg cache."""
+
+    def test_no_mutation_is_empty(self, env):
+        assert env.dirty_regions(env.version) == []
+
+    def test_box_mutations_attributed(self, env):
+        v0 = env.version
+        env.add_dynamic_box(
+            "person", Box(vec3(1, 1, 0), vec3(1.5, 1.5, 1.8), HUMAN)
+        )
+        env.move_dynamic_box("person", (0.5, 0, 0))
+        regions = env.dirty_regions(v0)
+        assert regions is not None and len(regions) == 2
+        lo, hi = regions[0]
+        np.testing.assert_allclose(lo, [1, 1, 0])
+        np.testing.assert_allclose(hi, [1.5, 1.5, 1.8])
+        # The move covers the union of old and new footprints.
+        lo, hi = regions[1]
+        np.testing.assert_allclose(lo, [1, 1, 0])
+        np.testing.assert_allclose(hi, [2.0, 1.5, 1.8])
+
+    def test_remove_attributed_to_old_footprint(self, env):
+        env.add_dynamic_box(
+            "person", Box(vec3(1, 1, 0), vec3(1.5, 1.5, 1.8), HUMAN)
+        )
+        v = env.version
+        env.remove_dynamic_box("person")
+        regions = env.dirty_regions(v)
+        assert regions is not None and len(regions) == 1
+        np.testing.assert_allclose(regions[0][1], [1.5, 1.5, 1.8])
+
+    def test_wall_region_covers_height(self, env):
+        v = env.version
+        env.add_wall_2d((0, 0), (0, 4), CONCRETE, name="new")
+        (region,) = env.dirty_regions(v)
+        assert region[0][2] == 0.0
+        assert region[1][2] == pytest.approx(3.0)
+
+    def test_unattributed_mutation_returns_none(self, env):
+        v = env.version
+        env.record_mutation()  # external edit with no region
+        assert env.dirty_regions(v) is None
+        # Later attributed mutations cannot resurrect the gap.
+        env.add_box(Box(vec3(0, 0, 0), vec3(1, 1, 1), WOOD))
+        assert env.dirty_regions(v) is None
+
+    def test_future_version_returns_none(self, env):
+        assert env.dirty_regions(env.version + 5) is None
+
+    def test_rotated_out_log_returns_none(self, env):
+        from repro.geometry.environment import _DIRTY_LOG_LEN
+
+        v = env.version
+        for i in range(_DIRTY_LOG_LEN + 1):
+            env.add_dynamic_box(
+                "walker", Box(vec3(i % 3, 0, 0), vec3(i % 3 + 0.5, 0.5, 1.8), HUMAN)
+            )
+        assert env.dirty_regions(v) is None
+        # But a window still covered by the log is fine.
+        assert env.dirty_regions(env.version - 2) is not None
