@@ -9,6 +9,7 @@ from .calls import (
     ServiceResponse,
 )
 from .demands import ApplicationDemand
+from .frontend import ServiceFrontend
 from .handle import HandleStatus, ServiceHandle
 from .profiles import PROFILES, demand_for
 from .translation import (
@@ -31,6 +32,7 @@ __all__ = [
     "ServedApplication",
     "ServiceBroker",
     "ServiceCall",
+    "ServiceFrontend",
     "ServiceHandle",
     "ServiceRequest",
     "ServiceResponse",

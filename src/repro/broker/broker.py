@@ -11,9 +11,8 @@ and every verb answers with a
 :class:`~repro.broker.calls.ServiceResponse`;
 :meth:`ServiceBroker.register_application` hands back a
 :class:`~repro.broker.handle.ServiceHandle` rather than the broker's
-internal record.  The handle duck-types as the legacy
-:class:`ServedApplication` (with a :class:`DeprecationWarning`) for one
-release.
+internal record; the transitional duck-type shim that let the handle
+pose as the internal :class:`ServedApplication` has been retired.
 """
 
 from __future__ import annotations
@@ -135,9 +134,7 @@ class ServiceBroker:
         A fully-inactive record under the same ``app@client`` key is
         replaced; registering over a still-active one raises.  The
         returned :class:`ServiceHandle` carries status, task ids,
-        ``satisfaction()`` and ``stop()``; legacy attribute access
-        (``.tasks``, ``.active``, …) still works with a
-        :class:`DeprecationWarning`.
+        ``satisfaction()`` and ``stop()``.
         """
         request = ServiceRequest(
             demand=demand,
@@ -164,8 +161,7 @@ class ServiceBroker:
         The served record is marked inactive even when some (or all)
         of its tasks already reached a terminal state, so the key is
         always free for re-registration afterwards.  Returns a
-        ``STOPPED`` :class:`ServiceResponse` (legacy callers ignored
-        the old ``None`` return, so this is strictly additive).
+        ``STOPPED`` :class:`ServiceResponse`.
         """
         key = f"{app_name}@{client_id}"
         served = self._apps.get(key)
@@ -202,7 +198,7 @@ class ServiceBroker:
     ) -> Dict[str, object]:
         """Compare achieved metrics against the application's demand.
 
-        Accepts either a :class:`ServiceHandle` or the legacy
+        Accepts either a :class:`ServiceHandle` or the internal
         :class:`ServedApplication` record.  Returns a report with the
         per-requirement verdicts the broker uses to decide
         re-optimization or escalation.

@@ -183,6 +183,11 @@ class ServiceResponse:
             when the request was accepted or admitted.
         completed_at: simulated time the verb finished.
         key: the ``app@client`` registry key the verb acted on.
+        routing: the fleet placement record (a
+            :class:`~repro.fleet.placement.RoutingDecision`) when the
+            request travelled through a
+            :class:`~repro.fleet.broker.FleetBroker`; ``None`` for
+            single-broker requests.
     """
 
     status: RequestStatus
@@ -191,6 +196,7 @@ class ServiceResponse:
     handle: Optional[object] = None
     completed_at: Optional[float] = None
     key: str = ""
+    routing: Optional[object] = None
 
     @property
     def ok(self) -> bool:

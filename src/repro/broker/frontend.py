@@ -1,0 +1,62 @@
+"""The shared service front-end protocol.
+
+Three layers hand out :class:`~repro.broker.handle.ServiceHandle`
+objects for registered applications: the single-environment
+:class:`~repro.broker.broker.ServiceBroker`, the tenant-scoped broker a
+:class:`~repro.orchestrator.virtualization.Hypervisor` provisions over
+a :class:`~repro.orchestrator.virtualization.TenantOrchestrator`, and
+the fleet-level :class:`~repro.fleet.broker.FleetBroker` that routes
+across environment shards.  :class:`ServiceFrontend` pins down the
+register/stop/handle semantics they all share so callers (and tests)
+can treat the three interchangeably.
+
+The protocol is ``runtime_checkable``: ``isinstance(x, ServiceFrontend)``
+verifies the method surface is present (signatures are enforced by the
+shared contract tests in ``tests/fleet/test_frontend.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, runtime_checkable
+
+from .calls import ServiceResponse
+from .demands import ApplicationDemand
+from .handle import ServiceHandle
+
+
+@runtime_checkable
+class ServiceFrontend(Protocol):
+    """Register/stop/handle semantics every service front-end offers.
+
+    Semantics the implementations agree on:
+
+    * ``register_application`` admits a demand and returns a live
+      :class:`ServiceHandle`; predictable rejections (duplicate key,
+      untranslatable demand, saturation) raise
+      :class:`~repro.core.errors.ServiceError`.
+    * ``stop_application`` tears down the named application and returns
+      a ``STOPPED`` :class:`ServiceResponse`; unknown keys raise.
+    * ``handle_for`` looks up the handle registered under
+      ``app@client``; unknown keys raise.
+    * ``applications`` lists every handle the front-end has issued.
+    """
+
+    def register_application(
+        self, demand: ApplicationDemand
+    ) -> ServiceHandle:
+        """Admit one application demand, returning its handle."""
+        ...
+
+    def stop_application(
+        self, app_name: str, client_id: str
+    ) -> ServiceResponse:
+        """Stop the application registered under ``app@client``."""
+        ...
+
+    def handle_for(self, app_name: str, client_id: str) -> ServiceHandle:
+        """Look up the handle registered under ``app@client``."""
+        ...
+
+    def applications(self) -> List[ServiceHandle]:
+        """Handles of all registered applications."""
+        ...

@@ -9,17 +9,15 @@ created task ids, ``satisfaction()``, ``stop()``, and a sim-clock
 ``wait()`` that pumps the request pipeline until the application is
 actually being served.
 
-Legacy attribute access (``handle.demand``, ``.calls``, ``.tasks``,
-``.active``, ``.stopped``) keeps working for one release through a
-duck-type shim that emits a :class:`DeprecationWarning` — the same
-pattern :class:`~repro.core.operations.OperationResult` uses for the
-hardware verbs.
+The transitional duck-type shim that exposed the internal record's
+``demand``/``calls``/``tasks``/``active``/``stopped`` attributes has
+been retired: use the handle API (``status``, ``task_ids``,
+``satisfaction()``, ``stop()``).
 """
 
 from __future__ import annotations
 
 import enum
-import warnings
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..core.errors import ServiceError
@@ -51,9 +49,6 @@ _SETTLED = (
     HandleStatus.REJECTED,
 )
 
-#: ServedApplication attributes reachable through the legacy shim.
-_LEGACY_ATTRS = ("demand", "calls", "tasks", "active", "stopped")
-
 
 class ServiceHandle:
     """The caller-facing handle for one registered application."""
@@ -71,6 +66,9 @@ class ServiceHandle:
         self.submitted_at: float = request.submitted_at
         self.admitted_at: Optional[float] = None
         self.served_at: Optional[float] = None
+        #: Fleet-level routing record (a ``RoutingDecision``) when this
+        #: handle was placed by a :class:`~repro.fleet.FleetBroker`.
+        self.routing = None
 
     # -- wiring (broker/pipeline internal) ------------------------------
 
@@ -183,23 +181,6 @@ class ServiceHandle:
             self._pipeline.clock.advance(dt)
             self._pipeline.tick()
         return self.status
-
-    # -- legacy duck-type shim ------------------------------------------
-
-    def __getattr__(self, name: str):
-        served = object.__getattribute__(self, "__dict__").get("_served")
-        if name in _LEGACY_ATTRS and served is not None:
-            warnings.warn(
-                f"reading {name!r} off a ServiceHandle as if it were the "
-                "legacy ServedApplication record is deprecated; use the "
-                "handle API (status, task_ids, satisfaction(), stop())",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            return getattr(served, name)
-        raise AttributeError(
-            f"{type(self).__name__!r} object has no attribute {name!r}"
-        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

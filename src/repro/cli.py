@@ -14,6 +14,7 @@ Usage::
     python -m repro.cli trace --report /tmp/trace.jsonl
     python -m repro.cli faults --seed 7 --jsonl /tmp/faults.jsonl
     python -m repro.cli pipeline --requests 10 --json /tmp/bench.json
+    python -m repro.cli fleet --shards 3 --requests 12 --seed 7
     python -m repro.cli info
 
 Every experiment prints the same rendering its benchmark asserts on.
@@ -25,7 +26,10 @@ die mid-run); its ``--jsonl`` export strips wall-clock fields, so two
 runs with the same seed produce byte-identical files — CI diffs them to
 catch nondeterminism.  ``pipeline`` runs the open-loop arrival
 benchmark (serial vs pipelined admission) and exits nonzero if the
-pipelined p99 latency exceeds serial.
+pipelined p99 latency exceeds serial.  ``fleet`` runs the multi-shard
+scenario (quarantine spill + roaming handoff) and exits nonzero when
+the interactive SLO is missed; its ``--jsonl`` export is sim-only and
+byte-stable per seed, diffed by the ``fleet-smoke`` CI job.
 """
 
 from __future__ import annotations
@@ -267,6 +271,39 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from .experiments import fleet as fleet_experiment
+
+    result = fleet_experiment.run(
+        shards=args.shards,
+        requests=args.requests,
+        seed=args.seed,
+        strategy=args.strategy,
+        parallelism=args.workers,
+        jsonl=args.jsonl,
+    )
+    print(result.render())
+    if args.jsonl:
+        print(f"\nsim-only event log written to {args.jsonl}")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result.summary(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nscenario results written to {args.json}")
+    # The gate: quarantining a shard must never drop interactive
+    # requests — they spill to healthy shards instead.
+    if not result.slo_met:
+        print(
+            f"FAIL: interactive SLO missed "
+            f"({result.interactive_served}/{result.interactive_total} "
+            f"served)",
+            file=sys.stderr,
+        )
+    return 0 if result.slo_met else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -397,6 +434,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="FILE", help="write the comparison as JSON"
     )
     pipeline.set_defaults(fn=_cmd_pipeline)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="multi-shard fleet scenario: quarantine spill + handoff",
+    )
+    fleet.add_argument(
+        "--shards", type=int, default=3, help="environment shards (zones)"
+    )
+    fleet.add_argument(
+        "--requests", type=int, default=12, help="requests in the trace"
+    )
+    fleet.add_argument(
+        "--seed", type=int, default=0, help="workload/placement seed"
+    )
+    fleet.add_argument(
+        "--strategy",
+        choices=("zone", "least-loaded", "congestion"),
+        default="congestion",
+        help="placement strategy (default congestion-aware)",
+    )
+    fleet.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="evaluation workers per shard (results identical at any N)",
+    )
+    fleet.add_argument(
+        "--jsonl",
+        metavar="FILE",
+        help="export the sim-only (wall-clock-free) fleet event log",
+    )
+    fleet.add_argument(
+        "--json", metavar="FILE", help="write the scenario summary as JSON"
+    )
+    fleet.set_defaults(fn=_cmd_fleet)
     return parser
 
 

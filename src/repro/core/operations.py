@@ -9,19 +9,15 @@ verbs returned a float (ready time), an int (writes applied), and a
 :class:`~repro.core.configuration.SurfaceConfiguration` respectively,
 so callers had to know which scalar each verb leaked.
 
-Legacy callers keep working for one release: an ``OperationResult``
-*duck-types* as its operation's old return value (numeric comparison,
-arithmetic, and — for fabrication — attribute access on the applied
-configuration), emitting a :class:`DeprecationWarning` on each legacy
-use.
+The transitional duck-type shim that let an ``OperationResult`` pose as
+its operation's old scalar return value has been retired: read
+``.ready_at``, ``.applied``, or ``.configuration`` explicitly.
 """
 
 from __future__ import annotations
 
 import enum
-import numbers
-import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from .configuration import SurfaceConfiguration
@@ -34,15 +30,6 @@ class OperationStatus(enum.Enum):
     RETRIED = "retried"        #: succeeded after transient failures
     FAILED = "failed"          #: exhausted every retry attempt
     REJECTED = "rejected"      #: refused up front (e.g. quarantined)
-
-
-def _legacy_warn(what: str) -> None:
-    warnings.warn(
-        f"treating an OperationResult as its legacy {what} return value "
-        "is deprecated; read .ready_at / .applied / .configuration instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
 
 
 @dataclass(eq=False)
@@ -80,117 +67,20 @@ class OperationResult:
     def __bool__(self) -> bool:
         return self.ok
 
-    # ------------------------------------------------------------------
-    # deprecation shims: behave like the legacy return value
-    # ------------------------------------------------------------------
-
-    def _legacy_value(self):
-        if self.operation == "fabricate":
-            return self.configuration
-        if self.operation == "commit":
-            return self.applied
-        return self.ready_at if self.ready_at is not None else self.latency_s
-
-    def _legacy_number(self) -> float:
-        value = self._legacy_value()
-        if isinstance(value, numbers.Number):
-            return value
-        raise TypeError(
-            f"OperationResult({self.operation}) has no legacy numeric value"
-        )
-
-    def __float__(self) -> float:
-        _legacy_warn("float")
-        return float(self._legacy_number())
-
-    def __int__(self) -> int:
-        _legacy_warn("int")
-        return int(self._legacy_number())
-
-    __index__ = __int__
-
     def __eq__(self, other: object):
-        if isinstance(other, OperationResult):
-            return (
-                self.status is other.status
-                and self.operation == other.operation
-                and self.surface_id == other.surface_id
-                and self.attempts == other.attempts
-                and self.latency_s == other.latency_s
-                and self.error == other.error
-                and self.ready_at == other.ready_at
-                and self.applied == other.applied
-            )
-        _legacy_warn("value in a comparison")
-        return self._legacy_value() == other
+        # Configurations hold arrays (ambiguous ==), so equality covers
+        # every field but the fabricated configuration.
+        if not isinstance(other, OperationResult):
+            return NotImplemented
+        return (
+            self.status is other.status
+            and self.operation == other.operation
+            and self.surface_id == other.surface_id
+            and self.attempts == other.attempts
+            and self.latency_s == other.latency_s
+            and self.error == other.error
+            and self.ready_at == other.ready_at
+            and self.applied == other.applied
+        )
 
     __hash__ = object.__hash__
-
-    def _cmp(self, other: object, op: str):
-        _legacy_warn("value in a comparison")
-        return getattr(self._legacy_number(), op)(other)
-
-    def __lt__(self, other):
-        return self._cmp(other, "__lt__")
-
-    def __le__(self, other):
-        return self._cmp(other, "__le__")
-
-    def __gt__(self, other):
-        return self._cmp(other, "__gt__")
-
-    def __ge__(self, other):
-        return self._cmp(other, "__ge__")
-
-    def _arith(self, other: object, op: str):
-        _legacy_warn("value in arithmetic")
-        return getattr(self._legacy_number(), op)(other)
-
-    def __add__(self, other):
-        return self._arith(other, "__add__")
-
-    def __radd__(self, other):
-        return self._arith(other, "__radd__")
-
-    def __sub__(self, other):
-        return self._arith(other, "__sub__")
-
-    def __rsub__(self, other):
-        return self._arith(other, "__rsub__")
-
-    def __mul__(self, other):
-        return self._arith(other, "__mul__")
-
-    def __rmul__(self, other):
-        return self._arith(other, "__rmul__")
-
-    def __truediv__(self, other):
-        return self._arith(other, "__truediv__")
-
-    def __rtruediv__(self, other):
-        return self._arith(other, "__rtruediv__")
-
-    def __getattr__(self, name: str):
-        # Legacy fabricate() callers read SurfaceConfiguration attributes
-        # (``.phases``, ``.coefficients()``, …) off the return value.
-        configuration = object.__getattribute__(self, "__dict__").get(
-            "configuration"
-        )
-        if configuration is not None and hasattr(configuration, name):
-            _legacy_warn("configuration attribute access")
-            return getattr(configuration, name)
-        raise AttributeError(
-            f"{type(self).__name__!r} object has no attribute {name!r}"
-        )
-
-
-def as_sim_time(now: object) -> float:
-    """Coerce a ``now`` argument to simulated seconds.
-
-    Accepts plain numbers and — for legacy call sites that feed a
-    previous operation's return straight back in (``commit(now=ready)``)
-    — an :class:`OperationResult`, which warns via its float shim.
-    """
-    if isinstance(now, OperationResult):
-        return float(now)
-    return float(now)  # type: ignore[arg-type]

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.configuration import SurfaceConfiguration
 from ..core.errors import CapabilityError, ConfigurationError, DriverError
-from ..core.operations import OperationResult, OperationStatus, as_sim_time
+from ..core.operations import OperationResult, OperationStatus
 from ..surfaces.panel import SurfacePanel
 from ..surfaces.specs import SignalProperty, SurfaceSpec
 
@@ -148,7 +148,7 @@ class SurfaceDriver:
         stored without switching the live configuration (pre-loading a
         beam codebook).
         """
-        now = as_sim_time(now)
+        now = float(now)
         self._check_reconfigurable()
         self.validate(config)
         if (
@@ -182,7 +182,7 @@ class SurfaceDriver:
         ``result.applied`` counts the writes applied.  Called by the
         hardware manager's clock tick.
         """
-        now = as_sim_time(now)
+        now = float(now)
         ready = [u for u in self._pending if u.ready_at <= now]
         self._pending = [u for u in self._pending if u.ready_at > now]
         for update in sorted(ready, key=lambda u: u.ready_at):

@@ -9,12 +9,14 @@
   mid-run; the daemon re-optimizes around them.
 * :mod:`.arrivals` — open-loop arrival benchmark: serial admission vs
   the concurrent request pipeline (batched + coalesced).
+* :mod:`.fleet` — three zones behind one global broker: spill around a
+  quarantined shard, roaming-client handoff, deterministic routing.
 
 Figures 1 and 3 of the paper are architecture diagrams; their
 "reproduction" is the system itself (see DESIGN.md).
 """
 
-from . import arrivals, degradation, fig2, fig4, fig5, fig6, table1
+from . import arrivals, degradation, fig2, fig4, fig5, fig6, fleet, table1
 from .scenario import ApartmentScenario, CARRIER_HZ, build_scenario
 
 __all__ = [
@@ -27,5 +29,6 @@ __all__ = [
     "fig4",
     "fig5",
     "fig6",
+    "fleet",
     "table1",
 ]

@@ -1,0 +1,32 @@
+"""Fleet tier: N environment shards behind one global service broker."""
+
+from .broker import DEFAULT_STAGGER_S, FleetBroker
+from .placement import (
+    CongestionAware,
+    LeastLoaded,
+    PlacementStrategy,
+    RoutingDecision,
+    StaticZoneMap,
+    zone_of,
+)
+from .shard import (
+    EnvironmentShard,
+    ShardLoad,
+    ShardSpec,
+    default_shard_system,
+)
+
+__all__ = [
+    "CongestionAware",
+    "DEFAULT_STAGGER_S",
+    "EnvironmentShard",
+    "FleetBroker",
+    "LeastLoaded",
+    "PlacementStrategy",
+    "RoutingDecision",
+    "ShardLoad",
+    "ShardSpec",
+    "StaticZoneMap",
+    "default_shard_system",
+    "zone_of",
+]

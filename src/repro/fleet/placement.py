@@ -1,0 +1,164 @@
+"""Fleet placement strategies: which shard serves which request.
+
+Three pluggable strategies rank the shards for each incoming
+:class:`~repro.broker.calls.ServiceRequest`:
+
+* :class:`StaticZoneMap` — the operator's wiring diagram: a client id
+  tagged ``"<zone>:<device>"`` goes to its zone's shard.
+* :class:`LeastLoaded` — classic join-the-shortest-queue over queue
+  depth plus active tasks.
+* :class:`CongestionAware` — a cost minimizer over per-shard load and
+  health signals, modeled on Icarus-style ``OptimalScheduling``:
+  requests flow to the computation spot minimizing a congestion cost
+  built from queue utilization, active-task load, and a health penalty
+  for degraded hardware.  (The reference formulation solves a global
+  LP with cvxpy; shard placement here is per-request over a handful of
+  shards, so the argmin of the same cost vector — computed in plain
+  scalar arithmetic — is exact and dependency-free.)
+
+Every strategy is deterministic: ties break on shard id, shards are
+ranked in one pass over an ordered load snapshot, and nothing consults
+wall time or unseeded randomness — what keeps same-seed fleet JSONL
+exports byte-identical.
+
+The chosen placement travels with the response as a
+:class:`RoutingDecision` so callers can see where a request landed,
+what it cost, and whether it spilled to a fallback shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+from ..broker.calls import ServiceRequest
+from .shard import ShardLoad
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    """Where (and why) the fleet placed one request.
+
+    Attributes:
+        shard_id: the shard that received the request (``""`` when the
+            fleet rejected it outright).
+        strategy: name of the placement strategy consulted.
+        cost: the chosen shard's placement cost under that strategy.
+        fallback_used: the strategy's first choice was unusable
+            (quarantined) and the request spilled to a later candidate.
+        candidates: every shard id the strategy ranked, best first.
+    """
+
+    shard_id: str
+    strategy: str
+    cost: float
+    fallback_used: bool = False
+    candidates: Tuple[str, ...] = ()
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat form for JSON artifacts and telemetry."""
+        return {
+            "shard_id": self.shard_id,
+            "strategy": self.strategy,
+            "cost": round(self.cost, 6),
+            "fallback_used": self.fallback_used,
+            "candidates": list(self.candidates),
+        }
+
+
+def zone_of(client_id: str) -> str:
+    """Zone tag of a client id (``"z1:phone"`` → ``"z1"``; else ``""``)."""
+    if ":" in client_id:
+        return client_id.split(":", 1)[0]
+    return ""
+
+
+class PlacementStrategy:
+    """Base: rank shards for a request, cheapest placement first."""
+
+    #: Strategy name recorded in :class:`RoutingDecision`.
+    name = "base"
+
+    def rank(
+        self,
+        request: ServiceRequest,
+        loads: Mapping[str, ShardLoad],
+    ) -> List[Tuple[str, float]]:
+        """Ordered ``(shard_id, cost)`` candidates, best first."""
+        raise NotImplementedError
+
+
+@dataclass
+class StaticZoneMap(PlacementStrategy):
+    """Route by the operator's zone → shard wiring.
+
+    The mapped shard ranks first at cost 0; remaining shards follow in
+    declaration order as fallbacks (cost = their fallback position).
+    Unknown or untagged client ids fall through to declaration order.
+    """
+
+    zones: Mapping[str, str] = field(default_factory=dict)
+    name: str = field(default="static-zone", init=False)
+
+    def rank(self, request, loads):
+        preferred = self.zones.get(zone_of(request.demand.client_id))
+        ranked: List[Tuple[str, float]] = []
+        if preferred is not None and preferred in loads:
+            ranked.append((preferred, 0.0))
+        for shard_id in loads:
+            if shard_id != preferred:
+                ranked.append((shard_id, float(len(ranked))))
+        return ranked
+
+
+@dataclass
+class LeastLoaded(PlacementStrategy):
+    """Join the shortest queue: depth plus active tasks, id tie-break."""
+
+    name: str = field(default="least-loaded", init=False)
+
+    def rank(self, request, loads):
+        costs = [
+            (sid, float(load.queue_depth + load.active_tasks))
+            for sid, load in loads.items()
+        ]
+        costs.sort(key=lambda item: (item[1], item[0]))
+        return costs
+
+
+@dataclass
+class CongestionAware(PlacementStrategy):
+    """Icarus-style congestion cost minimizer over load/health signals.
+
+    Placement cost per shard::
+
+        cost = queue_weight   * queue_utilization
+             + task_weight    * active_tasks
+             + health_penalty * (1 - operational_fraction)
+
+    Quarantined shards cost ``inf`` so they only surface as last-resort
+    candidates (the fleet skips them during spill anyway).
+    """
+
+    queue_weight: float = 4.0
+    task_weight: float = 1.0
+    health_penalty: float = 8.0
+    name: str = field(default="congestion-aware", init=False)
+
+    def cost_of(self, load: ShardLoad) -> float:
+        """The congestion cost of placing one request on ``load``."""
+        if load.quarantined:
+            return float("inf")
+        return (
+            self.queue_weight * load.utilization
+            + self.task_weight * float(load.active_tasks)
+            + self.health_penalty * (1.0 - load.operational_fraction)
+        )
+
+    def rank(self, request, loads):
+        # Scalar arithmetic on purpose: this runs once per request over
+        # a handful of shards, where numpy array setup would dominate
+        # the cost it computes.
+        costs = [(sid, self.cost_of(load)) for sid, load in loads.items()]
+        costs.sort(key=lambda item: (item[1], item[0]))
+        return costs

@@ -25,7 +25,7 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional
 
 from ..core.configuration import SurfaceConfiguration
 from ..core.errors import TransientHardwareError, UnknownDeviceError
-from ..core.operations import OperationResult, OperationStatus, as_sim_time
+from ..core.operations import OperationResult, OperationStatus
 from ..drivers.base import FeedbackReport, PassiveDriver, SurfaceDriver
 from ..drivers.amplitude import AmplitudeDriver
 from ..drivers.frequency import FrequencySelectiveDriver
@@ -345,11 +345,8 @@ class HardwareManager:
         ``retry_policy.max_attempts`` times with exponential backoff and
         deterministic jitter; exhausting the retries records a failure
         against the surface's health and may trip quarantine.
-
-        The result's ``ready_at`` still behaves as the legacy float for
-        one release (``OperationResult.__float__``).
         """
-        now = as_sim_time(now)
+        now = float(now)
         driver = self.driver(surface_id)
         health = self._health[surface_id]
         if not health.operational:
@@ -455,10 +452,9 @@ class HardwareManager:
         """Apply every in-flight write whose control delay elapsed.
 
         Returns an aggregate :class:`OperationResult` whose ``applied``
-        counts activations across all drivers (and which still compares
-        as that integer for one release).
+        counts activations across all drivers.
         """
-        now = as_sim_time(now)
+        now = float(now)
         with self.telemetry.span("hw-commit") as span:
             applied = sum(
                 int(d.commit(now).applied) for d in self._drivers.values()

@@ -22,7 +22,12 @@ from .optimizers import (
 )
 from .orchestrator import ReoptimizationResult, SurfaceOrchestrator
 from .scheduler import Scheduler
-from .virtualization import Hypervisor, TenantPolicy, VirtualOrchestrator
+from .virtualization import (
+    Hypervisor,
+    TenantOrchestrator,
+    TenantPolicy,
+    VirtualOrchestrator,
+)
 from .slices import ResourceSlice, SliceAllocator
 from .tasks import ServiceTask, ServiceType, TaskState
 
@@ -49,6 +54,7 @@ __all__ = [
     "SimulatedAnnealing",
     "SliceAllocator",
     "SurfaceOrchestrator",
+    "TenantOrchestrator",
     "TenantPolicy",
     "TaskState",
     "VirtualOrchestrator",

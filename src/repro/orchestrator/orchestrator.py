@@ -14,7 +14,6 @@ joint optimization"), pushing results through the hardware manager.
 from __future__ import annotations
 
 import math
-import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import (
@@ -353,22 +352,13 @@ class SurfaceOrchestrator:
         priority: int = 5,
         strategy: MultiplexStrategy = MultiplexStrategy.JOINT,
         time_fraction: Optional[float] = None,
-        type: Optional[str] = None,
     ) -> ServiceTask:
         """Enable AoA-based localization/tracking in a room.
 
         ``mode`` selects the sensing flavour (``"tracking"`` by
         default).  The former ``type=`` spelling, which shadowed the
-        builtin, still works but emits a :class:`DeprecationWarning`.
+        builtin, has been removed.
         """
-        if type is not None:
-            warnings.warn(
-                "enable_sensing(type=...) is deprecated; use mode=...",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if mode is None:
-                mode = type
         if mode is None:
             mode = "tracking"
         task = ServiceTask(

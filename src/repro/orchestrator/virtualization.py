@@ -11,6 +11,14 @@ capacity to several network providers — with per-tenant policy:
 * **time budget**: the share of the surfaces' time axis a tenant may
   hold across all of its tasks;
 * **isolation**: a tenant can only observe and cancel its own tasks.
+
+A :class:`TenantOrchestrator` quacks enough like the physical
+:class:`~repro.orchestrator.orchestrator.SurfaceOrchestrator` (service
+verbs plus the ``budget``/``clock_now``/``hardware``/``telemetry``
+read surface) that a :class:`~repro.broker.broker.ServiceBroker` can
+run on top of it unchanged — :meth:`Hypervisor.create_frontend`
+provisions exactly that, giving each tenant a policy-enforced
+:class:`~repro.broker.frontend.ServiceFrontend`.
 """
 
 from __future__ import annotations
@@ -49,12 +57,14 @@ class TenantPolicy:
             raise ServiceError("time budget must lie in (0, 1]")
 
 
-class VirtualOrchestrator:
+class TenantOrchestrator:
     """A tenant's restricted view of the shared orchestrator.
 
     Exposes the same service API names as
     :class:`SurfaceOrchestrator`, with the tenant's policy enforced
     before delegation and ownership recorded for isolation.
+    (Formerly named ``VirtualOrchestrator``; that name remains as an
+    alias.)
     """
 
     def __init__(
@@ -101,6 +111,35 @@ class VirtualOrchestrator:
         self._task_ids.append(task.task_id)
         self._hypervisor._owners[task.task_id] = self.policy.name
         return task
+
+    # ------------------------------------------------------------------
+    # read-only delegation (what a ServiceBroker needs to run on top)
+    # ------------------------------------------------------------------
+
+    @property
+    def budget(self):
+        """The physical link budget (read-only delegation)."""
+        return self._orchestrator.budget
+
+    @property
+    def clock_now(self) -> float:
+        """The shared simulated clock (read-only delegation)."""
+        return self._orchestrator.clock_now
+
+    @property
+    def hardware(self):
+        """The physical hardware manager (read-only delegation)."""
+        return self._orchestrator.hardware
+
+    @property
+    def telemetry(self):
+        """The shared telemetry stream (read-only delegation)."""
+        return self._orchestrator.telemetry
+
+    @property
+    def scheduler(self):
+        """The physical scheduler (read-only delegation)."""
+        return self._orchestrator.scheduler
 
     # ------------------------------------------------------------------
     # accounting
@@ -177,6 +216,16 @@ class VirtualOrchestrator:
             self._orchestrator.init_powering(client_id, **kwargs)
         )
 
+    def protect_link(self, client_id: str, **kwargs) -> ServiceTask:
+        """Tenant-scoped ``protect_link``."""
+        kwargs["priority"] = self._clamp_priority(kwargs.get("priority", 7))
+        kwargs["time_fraction"] = self._effective_fraction(
+            kwargs.get("time_fraction")
+        )
+        return self._register(
+            self._orchestrator.protect_link(client_id, **kwargs)
+        )
+
     def complete_task(self, task_id: str) -> None:
         """Finish one of the tenant's own tasks (isolation enforced)."""
         owner = self._hypervisor._owners.get(task_id)
@@ -192,10 +241,10 @@ class Hypervisor:
 
     def __init__(self, orchestrator: SurfaceOrchestrator):
         self.orchestrator = orchestrator
-        self._tenants: Dict[str, VirtualOrchestrator] = {}
+        self._tenants: Dict[str, TenantOrchestrator] = {}
         self._owners: Dict[str, str] = {}
 
-    def create_tenant(self, policy: TenantPolicy) -> VirtualOrchestrator:
+    def create_tenant(self, policy: TenantPolicy) -> TenantOrchestrator:
         """Provision a tenant view; names are unique."""
         if policy.name in self._tenants:
             raise ServiceError(f"tenant {policy.name!r} already exists")
@@ -207,11 +256,23 @@ class Hypervisor:
                 f"time budgets would exceed the physical axis "
                 f"({total:.2f} > 1.0)"
             )
-        tenant = VirtualOrchestrator(self.orchestrator, policy, self)
+        tenant = TenantOrchestrator(self.orchestrator, policy, self)
         self._tenants[policy.name] = tenant
         return tenant
 
-    def tenant(self, name: str) -> VirtualOrchestrator:
+    def create_frontend(self, policy: TenantPolicy):
+        """Provision a tenant and wrap it in a policy-enforcing broker.
+
+        The returned :class:`~repro.broker.broker.ServiceBroker` runs
+        unchanged over the :class:`TenantOrchestrator`, so it conforms
+        to :class:`~repro.broker.frontend.ServiceFrontend` while every
+        demand passes the tenant's room/priority/time-budget policy.
+        """
+        from ..broker.broker import ServiceBroker
+
+        return ServiceBroker(self.create_tenant(policy))
+
+    def tenant(self, name: str) -> TenantOrchestrator:
         """Look up a tenant view."""
         try:
             return self._tenants[name]
@@ -234,3 +295,7 @@ class Hypervisor:
             }
             for name, tenant in self._tenants.items()
         }
+
+
+#: Backwards-compatible alias for the pre-fleet class name.
+VirtualOrchestrator = TenantOrchestrator

@@ -49,7 +49,7 @@ def rng():
 class TestAsyncUpdates:
     def test_write_not_live_before_control_delay(self, driver, rng):
         cfg = SurfaceConfiguration.random(4, 4, rng=rng)
-        ready_at = driver.push_configuration("a", cfg, now=0.0)
+        ready_at = driver.push_configuration("a", cfg, now=0.0).ready_at
         assert ready_at == pytest.approx(
             GENERIC_PROGRAMMABLE_28.control_delay_s
         )
@@ -60,8 +60,8 @@ class TestAsyncUpdates:
 
     def test_write_live_after_control_delay(self, driver, rng):
         cfg = SurfaceConfiguration.random(4, 4, rng=rng)
-        ready_at = driver.push_configuration("a", cfg, now=0.0)
-        applied = driver.commit(now=ready_at)
+        ready_at = driver.push_configuration("a", cfg, now=0.0).ready_at
+        applied = driver.commit(now=ready_at).applied
         assert applied == 1
         assert driver.active_configuration_name == "a"
         assert driver.pending_count() == 0

@@ -72,8 +72,8 @@ class TestPhaseDrivers:
     def test_passive_fabricate_focus(self):
         panel = make_panel(GENERIC_PASSIVE_28, pid="pas")
         drv = PassivePhaseDriver(panel)
-        cfg = drv.fabricate_focus(vec3(-2, -2, 2), vec3(3, -3, 1), FREQ)
-        assert cfg.shape == panel.shape
+        result = drv.fabricate_focus(vec3(-2, -2, 2), vec3(3, -3, 1), FREQ)
+        assert result.configuration.shape == panel.shape
         assert drv.fabricated
 
 

@@ -1,0 +1,47 @@
+"""ServiceFrontend conformance: broker, fleet, and tenant frontends."""
+
+from repro.broker import ApplicationDemand, HandleStatus, ServiceFrontend
+from repro.orchestrator import Hypervisor, TenantPolicy
+
+
+class TestFrontendProtocol:
+    def test_fleet_broker_conforms(self, fleet):
+        assert isinstance(fleet, ServiceFrontend)
+
+    def test_single_broker_conforms(self, fleet):
+        shard = fleet.shards["z1"]
+        assert isinstance(shard.broker, ServiceFrontend)
+
+    def test_tenant_frontend_conforms(self, fleet):
+        hypervisor = Hypervisor(fleet.shards["z1"].orchestrator)
+        frontend = hypervisor.create_frontend(
+            TenantPolicy(name="acme", time_budget=0.5)
+        )
+        assert isinstance(frontend, ServiceFrontend)
+
+    def test_tenant_frontend_serves_and_enforces_policy(self, fleet):
+        shard = fleet.shards["z1"]
+        shard.ensure_client("z1:tv")
+        hypervisor = Hypervisor(shard.orchestrator)
+        frontend = hypervisor.create_frontend(
+            TenantPolicy(name="acme", max_priority=4, time_budget=0.5)
+        )
+        handle = frontend.register_application(
+            ApplicationDemand(
+                app_name="video_streaming",
+                client_id="z1:tv",
+                room_id="bedroom",
+                throughput_mbps=10.0,
+                priority=9,
+            )
+        )
+        assert handle.status is HandleStatus.ADMITTED
+        tasks = [
+            shard.orchestrator.scheduler.task(tid)
+            for tid in handle.task_ids
+        ]
+        # The tenant's priority ceiling clamps the request's 9 to 4.
+        assert all(t.priority <= 4 for t in tasks)
+        assert all(
+            hypervisor.owner_of(t.task_id) == "acme" for t in tasks
+        )

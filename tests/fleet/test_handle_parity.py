@@ -1,0 +1,96 @@
+"""Handle parity: fleet handles obey the single-broker lifecycle contract.
+
+Mirrors the lifecycle assertions of ``tests/pipeline/test_handles.py``
+against a :class:`~repro.fleet.FleetBroker`, so the fleet cannot drift
+from the single-broker handle semantics.
+"""
+
+import pytest
+
+from repro.broker import (
+    ApplicationDemand,
+    HandleStatus,
+    RequestStatus,
+    ServiceResponse,
+)
+from repro.core.errors import ServiceError
+
+
+def demand(i=0, zone="z1", priority=5):
+    return ApplicationDemand(
+        app_name=f"app-{i}",
+        client_id=f"{zone}:cl-{i}",
+        room_id="bedroom",
+        throughput_mbps=10.0,
+        priority=priority,
+    )
+
+
+class TestDirectRegistration:
+    def test_register_returns_admitted_handle(self, fleet):
+        handle = fleet.register_application(demand())
+        assert handle.status is HandleStatus.ADMITTED
+        assert handle.task_ids
+        report = fleet.satisfaction(handle)
+        assert report["app"] == "app-0"
+
+    def test_duplicate_registration_raises(self, fleet):
+        fleet.register_application(demand())
+        with pytest.raises(ServiceError):
+            fleet.register_application(demand())
+
+    def test_stop_returns_typed_response(self, fleet):
+        handle = fleet.register_application(demand())
+        response = fleet.stop_application("app-0", "z1:cl-0")
+        assert isinstance(response, ServiceResponse)
+        assert response.status is RequestStatus.STOPPED
+        assert handle.status is HandleStatus.STOPPED
+
+    def test_stop_unknown_app_raises(self, fleet):
+        with pytest.raises(ServiceError):
+            fleet.stop_application("ghost", "z1:cl-0")
+
+    def test_applications_lists_handles(self, fleet):
+        fleet.register_application(demand(0, zone="z1"))
+        fleet.register_application(demand(1, zone="z2"))
+        apps = fleet.applications()
+        assert {h.key for h in apps} == {
+            "app-0@z1:cl-0",
+            "app-1@z2:cl-1",
+        }
+        assert all(h.status is HandleStatus.ADMITTED for h in apps)
+
+    def test_handle_for_finds_cross_shard(self, fleet):
+        handle = fleet.register_application(demand(0, zone="z2"))
+        assert fleet.handle_for("app-0", "z2:cl-0") is handle
+
+
+class TestQueuedLifecycle:
+    def test_status_walks_queued_admitted_running(self, fleet):
+        handle = fleet.submit(demand())
+        assert handle.status is HandleStatus.QUEUED
+        assert handle.submitted_at == pytest.approx(fleet.clock.now)
+        fleet.run(6, dt=0.1)
+        assert handle.status is HandleStatus.RUNNING
+        assert handle.served_at >= handle.admitted_at
+
+    def test_satisfaction_before_admission_raises(self, fleet):
+        handle = fleet.submit(demand())
+        with pytest.raises(ServiceError):
+            handle.satisfaction()
+
+    def test_stop_running_handle_releases_key(self, fleet):
+        handle = fleet.submit(demand())
+        fleet.run(6, dt=0.1)
+        assert handle.status is HandleStatus.RUNNING
+        response = fleet.stop_application("app-0", "z1:cl-0")
+        assert response.status is RequestStatus.STOPPED
+        again = fleet.submit(demand())
+        fleet.run(6, dt=0.1)
+        assert again.status is HandleStatus.RUNNING
+
+    def test_legacy_attributes_raise_on_fleet_handles(self, fleet):
+        handle = fleet.register_application(demand())
+        for name in ("demand", "calls", "tasks", "active", "stopped"):
+            with pytest.raises(AttributeError):
+                getattr(handle, name)

@@ -1,0 +1,137 @@
+"""Placement strategies: zone wiring, least-loaded, congestion costs."""
+
+from repro.broker import ApplicationDemand
+from repro.broker.calls import ServiceRequest
+from repro.fleet import (
+    CongestionAware,
+    LeastLoaded,
+    RoutingDecision,
+    ShardLoad,
+    StaticZoneMap,
+    zone_of,
+)
+
+
+def request(client_id="z1:phone"):
+    return ServiceRequest(
+        demand=ApplicationDemand(
+            app_name="video_streaming",
+            client_id=client_id,
+            room_id="bedroom",
+            throughput_mbps=10.0,
+        )
+    )
+
+
+def load(sid, depth=0, cap=8, tasks=0, frac=1.0, quarantined=False):
+    return ShardLoad(
+        shard_id=sid,
+        queue_depth=depth,
+        queue_capacity=cap,
+        active_tasks=tasks,
+        operational_fraction=frac,
+        quarantined=quarantined,
+    )
+
+
+class TestZoneOf:
+    def test_tagged_and_untagged(self):
+        assert zone_of("z2:phone") == "z2"
+        assert zone_of("phone") == ""
+
+
+class TestStaticZoneMap:
+    def test_maps_zone_to_shard_first(self):
+        strategy = StaticZoneMap({"z1": "z1", "z2": "z2"})
+        loads = {"z1": load("z1"), "z2": load("z2")}
+        ranked = strategy.rank(request("z2:phone"), loads)
+        assert ranked[0] == ("z2", 0.0)
+        assert [sid for sid, _ in ranked] == ["z2", "z1"]
+
+    def test_unknown_zone_falls_through_in_order(self):
+        strategy = StaticZoneMap({"z1": "z1"})
+        loads = {"z1": load("z1"), "z2": load("z2")}
+        ranked = strategy.rank(request("z9:phone"), loads)
+        assert [sid for sid, _ in ranked] == ["z1", "z2"]
+
+
+class TestLeastLoaded:
+    def test_sorts_by_depth_plus_tasks(self):
+        strategy = LeastLoaded()
+        loads = {
+            "a": load("a", depth=3, tasks=2),
+            "b": load("b", depth=1, tasks=0),
+            "c": load("c", depth=0, tasks=2),
+        }
+        assert [sid for sid, _ in strategy.rank(request(), loads)] == [
+            "b",
+            "c",
+            "a",
+        ]
+
+    def test_tie_breaks_on_shard_id(self):
+        strategy = LeastLoaded()
+        loads = {"b": load("b"), "a": load("a")}
+        assert [sid for sid, _ in strategy.rank(request(), loads)] == [
+            "a",
+            "b",
+        ]
+
+
+class TestCongestionAware:
+    def test_prefers_idle_healthy_shard(self):
+        strategy = CongestionAware()
+        loads = {
+            "busy": load("busy", depth=6, tasks=4),
+            "idle": load("idle"),
+        }
+        ranked = strategy.rank(request(), loads)
+        assert ranked[0][0] == "idle"
+        assert ranked[0][1] < ranked[1][1]
+
+    def test_health_penalty_beats_small_queue_edge(self):
+        strategy = CongestionAware()
+        loads = {
+            # Slightly busier but fully healthy...
+            "healthy": load("healthy", depth=1, tasks=0),
+            # ...wins over an idle shard that lost half its panels.
+            "degraded": load("degraded", frac=0.5),
+        }
+        assert strategy.rank(request(), loads)[0][0] == "healthy"
+
+    def test_quarantined_costs_infinity(self):
+        strategy = CongestionAware()
+        loads = {
+            "q": load("q", quarantined=True),
+            "ok": load("ok", depth=7, tasks=9),
+        }
+        ranked = strategy.rank(request(), loads)
+        assert ranked[0][0] == "ok"
+        assert ranked[1][1] == float("inf")
+
+    def test_rank_is_deterministic(self):
+        strategy = CongestionAware()
+        loads = {
+            "a": load("a", depth=2),
+            "b": load("b", depth=2),
+            "c": load("c", depth=1),
+        }
+        first = strategy.rank(request(), loads)
+        assert all(
+            strategy.rank(request(), loads) == first for _ in range(5)
+        )
+
+
+class TestRoutingDecision:
+    def test_as_dict_is_json_friendly(self):
+        decision = RoutingDecision(
+            shard_id="z1",
+            strategy="congestion-aware",
+            cost=0.25,
+            fallback_used=True,
+            candidates=("z1", "z2"),
+        )
+        flat = decision.as_dict()
+        assert flat["shard_id"] == "z1"
+        assert flat["fallback_used"] is True
+        assert flat["candidates"] == ["z1", "z2"]

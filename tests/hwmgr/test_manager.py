@@ -133,9 +133,9 @@ class TestUnifiedOps:
         manager.register_surface(make_panel())
         rng = np.random.default_rng(0)
         cfg = SurfaceConfiguration.random(4, 4, rng=rng)
-        ready = manager.push_configuration("s1", cfg, now=0.0)
+        ready = manager.push_configuration("s1", cfg, now=0.0).ready_at
         assert manager.pending_total() == 1
-        applied = manager.commit_all(now=ready)
+        applied = manager.commit_all(now=ready).applied
         assert applied == 1
         assert manager.pending_total() == 0
         snap = manager.snapshot()

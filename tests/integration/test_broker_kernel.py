@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro import SurfOS, SurfOSError, ghz
+from repro.broker import HandleStatus
 from repro.core.errors import ServiceError
 from repro.geometry import apartment_sites, two_room_apartment
 from repro.hwmgr import AccessPoint, ClientDevice
@@ -70,7 +71,7 @@ class TestKernel:
 class TestBroker:
     def test_application_served_and_reported(self, system):
         served = system.serve_application("video_streaming", "phone", "bedroom")
-        assert served.active
+        assert served.status is HandleStatus.ADMITTED
         system.reoptimize()
         report = system.broker.satisfaction(served)
         assert "achieved_snr_db" in report
@@ -78,7 +79,11 @@ class TestBroker:
 
     def test_vr_app_spawns_link_and_sensing(self, system):
         served = system.serve_application("vr_gaming", "headset", "bedroom")
-        services = {t.service.value for t in served.tasks}
+        tasks = [
+            system.orchestrator.scheduler.task(tid)
+            for tid in served.task_ids
+        ]
+        services = {t.service.value for t in tasks}
         assert {"link", "sensing"} <= services
         system.reoptimize()
         report = system.broker.satisfaction(served)
@@ -92,7 +97,7 @@ class TestBroker:
     def test_stop_application(self, system):
         served = system.serve_application("video_streaming", "phone", "bedroom")
         system.broker.stop_application("video_streaming", "phone")
-        assert not served.active
+        assert served.status is HandleStatus.STOPPED
         with pytest.raises(ServiceError):
             system.broker.stop_application("ghost_app", "phone")
 
@@ -101,18 +106,22 @@ class TestBroker:
         # expired), stop_application must still mark the record
         # inactive rather than leaving it stuck active forever.
         served = system.serve_application("video_streaming", "phone", "bedroom")
-        for task in served.tasks:
-            system.orchestrator.complete_task(task.task_id)
-        assert all(t.is_terminal for t in served.tasks)
+        for task_id in served.task_ids:
+            system.orchestrator.complete_task(task_id)
+        tasks = [
+            system.orchestrator.scheduler.task(tid)
+            for tid in served.task_ids
+        ]
+        assert all(t.is_terminal for t in tasks)
         system.broker.stop_application("video_streaming", "phone")
-        assert not served.active
+        assert served.status is HandleStatus.STOPPED
 
     def test_reregistration_after_stop(self, system):
         first = system.serve_application("video_streaming", "phone", "bedroom")
         system.broker.stop_application("video_streaming", "phone")
         second = system.serve_application("video_streaming", "phone", "bedroom")
         assert second is not first
-        assert second.active
+        assert second.status is HandleStatus.ADMITTED
         assert second in system.broker.applications()
         assert first not in system.broker.applications()
 
@@ -148,12 +157,13 @@ class TestHandleAPI:
         assert response.status is RequestStatus.STOPPED
         assert response.ok
 
-    def test_legacy_attribute_access_warns(self, system):
+    def test_legacy_attribute_shim_is_gone(self, system):
+        # The PR-4 duck-type shim (handle.active/.demand/.tasks/...)
+        # has been retired: legacy reads now fail loudly.
         handle = system.serve_application("video_streaming", "phone", "bedroom")
-        with pytest.warns(DeprecationWarning, match="ServedApplication"):
-            assert handle.active
-        with pytest.warns(DeprecationWarning):
-            assert handle.demand.app_name == "video_streaming"
+        for name in ("demand", "calls", "tasks", "active", "stopped"):
+            with pytest.raises(AttributeError):
+                getattr(handle, name)
 
 
 class TestDaemon:

@@ -170,19 +170,13 @@ class TestSensingModeRename:
         task = system.orchestrator.enable_sensing("bedroom")
         assert task.goal["mode"] == "tracking"
 
-    def test_type_keyword_deprecated_but_works(self, system):
-        with pytest.warns(DeprecationWarning, match="mode"):
-            task = system.orchestrator.enable_sensing(
+    def test_type_keyword_removed(self, system):
+        # The deprecated ``type=`` spelling has been retired at the
+        # orchestrator API; only the LLM dispatcher still translates it.
+        with pytest.raises(TypeError):
+            system.orchestrator.enable_sensing(
                 "bedroom", type="localization"
             )
-        assert task.goal["mode"] == "localization"
-
-    def test_explicit_mode_wins_over_deprecated_type(self, system):
-        with pytest.warns(DeprecationWarning):
-            task = system.orchestrator.enable_sensing(
-                "bedroom", mode="tracking", type="localization"
-            )
-        assert task.goal["mode"] == "tracking"
 
     def test_llm_dispatch_translates_type_to_mode(self, system):
         # The mock's Fig. 6 completion spells the kwarg ``type=``; the

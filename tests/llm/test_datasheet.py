@@ -95,7 +95,7 @@ class TestGeneration:
 
         ready = driver.push_configuration(
             "a", SurfaceConfiguration.zeros(4, 4), now=0.0
-        )
+        ).ready_at
         assert ready == pytest.approx(200e-6)
         driver.commit(now=ready)
         assert driver.active_configuration_name == "a"

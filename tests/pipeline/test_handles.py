@@ -1,4 +1,4 @@
-"""ServiceHandle lifecycle, typed request/response, and the legacy shim."""
+"""ServiceHandle lifecycle and the typed request/response envelopes."""
 
 import pytest
 
@@ -131,19 +131,16 @@ class TestPipelinedLifecycle:
         assert again.wait(timeout_s=5.0, dt=0.5) is HandleStatus.RUNNING
 
 
-class TestLegacyShim:
-    def test_legacy_attributes_warn_but_work(self, system):
+class TestLegacyShimRetired:
+    def test_legacy_attributes_raise(self, system):
+        # The PR-4 duck-type shim has been removed: ServedApplication
+        # attributes are no longer reachable through the handle.
         handle = system.broker.register_application(demand())
-        with pytest.warns(DeprecationWarning, match="ServedApplication"):
-            legacy_demand = handle.demand
-        assert legacy_demand.app_name == "app-0"
-        with pytest.warns(DeprecationWarning):
-            assert handle.active
-        with pytest.warns(DeprecationWarning):
-            legacy_tasks = handle.tasks
-        assert [t.task_id for t in legacy_tasks] == handle.task_ids
+        for name in ("demand", "calls", "tasks", "active", "stopped"):
+            with pytest.raises(AttributeError):
+                getattr(handle, name)
 
-    def test_new_surface_does_not_warn(self, system, recwarn):
+    def test_typed_surface_does_not_warn(self, system, recwarn):
         handle = system.broker.register_application(demand())
         handle.status
         handle.task_ids
