@@ -25,6 +25,7 @@ from pathlib import Path
 
 import numpy as np
 
+from _meta import bench_meta
 from conftest import run_once
 from repro.analysis.tables import render_table
 from repro.channel import ChannelSimulator, ula_node
@@ -205,6 +206,7 @@ def run_channel_suite():
 
 def test_bench_channel(benchmark):
     results = run_once(benchmark, run_channel_suite)
+    results["meta"] = bench_meta()
     OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
     print()
     print(

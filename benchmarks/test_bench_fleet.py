@@ -32,6 +32,7 @@ import statistics
 import time
 from pathlib import Path
 
+from _meta import bench_meta
 from conftest import run_once
 
 from repro.analysis.tables import render_table
@@ -159,6 +160,7 @@ def run_fleet_suite():
 
 def test_bench_fleet(benchmark):
     results = run_once(benchmark, run_fleet_suite)
+    results["meta"] = bench_meta()
     OUTPUT.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
 
     print()

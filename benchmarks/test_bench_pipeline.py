@@ -22,6 +22,7 @@ import json
 import os
 from pathlib import Path
 
+from _meta import bench_meta
 from conftest import run_once
 
 from repro.analysis.tables import render_table
@@ -63,6 +64,7 @@ def run_pipeline_suite():
 def test_bench_pipeline(benchmark):
     results = run_once(benchmark, run_pipeline_suite)
     burst, sweep = results.pop("_results")
+    results["meta"] = bench_meta()
     OUTPUT.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
 
     rows = []

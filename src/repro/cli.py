@@ -171,15 +171,23 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from .core.units import ghz
     from .geometry import apartment_sites, two_room_apartment
     from .hwmgr import AccessPoint, ClientDevice
-    from .orchestrator import Adam
+    from .orchestrator import Adam, RandomSearch
     from .surfaces import GENERIC_PROGRAMMABLE_28, SurfacePanel
 
     frequency = ghz(28)
     sites = apartment_sites()
+    # With an evaluation backend bound, trace a population optimizer —
+    # gradient descent never evaluates candidate batches, so Adam would
+    # leave the evaluator (and its telemetry) idle.
+    optimizer = (
+        RandomSearch(max_iterations=args.iterations, seed=0)
+        if args.eval_backend
+        else Adam(max_iterations=args.iterations)
+    )
     system = SurfOS(
         two_room_apartment(),
         frequency_hz=frequency,
-        optimizer=Adam(max_iterations=args.iterations),
+        optimizer=optimizer,
         grid_spacing_m=1.0,
     )
     system.add_access_point(
@@ -199,7 +207,21 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     system.boot()
     system.orchestrator.optimize_coverage("bedroom")
     system.orchestrator.enhance_link("phone", snr=25.0)
-    result = system.reoptimize(rounds=args.rounds)
+    evaluator = None
+    if args.eval_backend:
+        from .pipeline import EvaluationConfig, build_evaluator
+
+        evaluator = build_evaluator(
+            EvaluationConfig(backend=args.eval_backend, parallelism=2)
+        )
+        evaluator.bind_telemetry(system.telemetry)
+        system.orchestrator.optimizer.bind_evaluator(evaluator)
+    try:
+        result = system.reoptimize(rounds=args.rounds)
+    finally:
+        if evaluator is not None:
+            system.orchestrator.optimizer.unbind_evaluator()
+            evaluator.close()
 
     print("Traced one reoptimize() on the two-room apartment scenario.")
     print()
@@ -242,7 +264,10 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     from .experiments import arrivals
 
     result = arrivals.run(
-        requests=args.requests, rate_hz=args.rate, seed=args.seed
+        requests=args.requests,
+        rate_hz=args.rate,
+        seed=args.seed,
+        backend=args.eval_backend,
     )
     print(result.render())
     if args.json:
@@ -282,6 +307,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         seed=args.seed,
         strategy=args.strategy,
         parallelism=args.workers,
+        backend=args.eval_backend,
         jsonl=args.jsonl,
     )
     print(result.render())
@@ -372,6 +398,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--rounds", type=int, default=2, help="block-coordinate rounds"
     )
     trace.add_argument(
+        "--eval-backend",
+        choices=("thread", "process"),
+        default=None,
+        help=(
+            "bind a candidate-evaluation backend for the traced pass "
+            "(bit-identical results; evaluator.* metrics land in the report)"
+        ),
+    )
+    trace.add_argument(
         "--iterations", type=int, default=60, help="optimizer iteration budget"
     )
     trace.add_argument(
@@ -433,6 +468,12 @@ def build_parser() -> argparse.ArgumentParser:
     pipeline.add_argument(
         "--json", metavar="FILE", help="write the comparison as JSON"
     )
+    pipeline.add_argument(
+        "--eval-backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="candidate-evaluation backend (bit-identical results)",
+    )
     pipeline.set_defaults(fn=_cmd_pipeline)
 
     fleet = sub.add_parser(
@@ -460,6 +501,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N",
         help="evaluation workers per shard (results identical at any N)",
+    )
+    fleet.add_argument(
+        "--eval-backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="candidate-evaluation backend (bit-identical results)",
     )
     fleet.add_argument(
         "--jsonl",

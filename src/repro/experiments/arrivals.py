@@ -37,7 +37,7 @@ from ..geometry.floorplans import apartment_sites, two_room_apartment
 from ..hwmgr.devices import AccessPoint, ClientDevice
 from ..orchestrator.optimizers import Optimizer, RandomSearch
 from ..orchestrator.tasks import reset_task_counter
-from ..pipeline import PipelineConfig
+from ..pipeline import EvaluationConfig, PipelineConfig
 from ..surfaces.catalog import GENERIC_PROGRAMMABLE_28
 from ..surfaces.panel import SurfacePanel
 from .scenario import CARRIER_HZ
@@ -285,6 +285,7 @@ def run_pipelined(
     config: Optional[PipelineConfig] = None,
     dt: float = TICK_DT_S,
     horizon_s: float = 600.0,
+    backend: str = "thread",
 ):
     """The pipelined discipline over the same trace; returns the pipeline.
 
@@ -298,7 +299,7 @@ def run_pipelined(
     config = config or PipelineConfig(
         coalesce_window_s=COALESCE_WINDOW_S,
         charge_compute=True,
-        parallelism=2,
+        evaluation=EvaluationConfig(backend=backend, parallelism=2),
     )
     pipeline = system.attach_pipeline(config)
     demands = _demands(requests)
@@ -324,6 +325,7 @@ def run(
     panel_size: int = PANEL_SIZE,
     config: Optional[PipelineConfig] = None,
     dt: float = TICK_DT_S,
+    backend: str = "thread",
 ) -> ArrivalSweepResult:
     """Both disciplines over one seeded trace; the benchmark entry point."""
     serial = run_serial(
@@ -336,6 +338,7 @@ def run(
         panel_size=panel_size,
         config=config,
         dt=dt,
+        backend=backend,
     )
     stats = pipeline.stats
     arrivals = arrival_times(requests, rate_hz, seed=seed)

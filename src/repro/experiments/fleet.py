@@ -86,6 +86,7 @@ def build_fleet(
     panel_size: int = PANEL_SIZE,
     queue_capacity: int = 64,
     parallelism: int = 1,
+    backend: str = "thread",
 ) -> FleetBroker:
     """A seeded N-shard fleet with reset id counters (determinism)."""
     reset_task_counter()
@@ -104,6 +105,7 @@ def build_fleet(
         specs,
         strategy=make_strategy(strategy, shards),
         parallelism=parallelism,
+        backend=backend,
     )
 
 
@@ -223,6 +225,7 @@ def run(
     strategy: str = "congestion",
     panel_size: int = PANEL_SIZE,
     parallelism: int = 1,
+    backend: str = "thread",
     jsonl: Optional[str] = None,
     fleet: Optional[FleetBroker] = None,
     horizon_s: float = 60.0,
@@ -236,6 +239,7 @@ def run(
             strategy=strategy,
             panel_size=panel_size,
             parallelism=parallelism,
+            backend=backend,
         )
     demands = _demands(requests, shards, seed)
     rng = np.random.default_rng(seed + 17)

@@ -29,7 +29,7 @@ from ..geometry.floorplans import apartment_sites, two_room_apartment
 from ..hwmgr.devices import AccessPoint, ClientDevice
 from ..hwmgr.health import HealthStatus
 from ..orchestrator.optimizers import RandomSearch
-from ..pipeline import PipelineConfig, RequestPipeline
+from ..pipeline import EvaluationConfig, PipelineConfig, RequestPipeline
 from ..runtime.clock import SimClock
 from ..surfaces.catalog import GENERIC_PROGRAMMABLE_28
 from ..surfaces.panel import SurfacePanel
@@ -151,6 +151,7 @@ class EnvironmentShard:
         telemetry: Telemetry,
         stagger_s: float = 0.0,
         parallelism: int = 1,
+        backend: str = "thread",
     ):
         self.spec = spec
         self.shard_id = spec.shard_id
@@ -169,7 +170,9 @@ class EnvironmentShard:
             config=PipelineConfig(
                 queue_capacity=spec.queue_capacity,
                 coalesce_window_s=self.coalesce_window_s,
-                parallelism=parallelism,
+                evaluation=EvaluationConfig(
+                    backend=backend, parallelism=parallelism
+                ),
             ),
         )
         #: Set by :meth:`FleetBroker.quarantine_shard`; a quarantined

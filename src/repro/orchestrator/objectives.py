@@ -373,6 +373,440 @@ class JointObjective(Objective):
         return total
 
 
+# ----------------------------------------------------------------------
+# stacked cross-task evaluation
+# ----------------------------------------------------------------------
+#
+# The slotted-task loop in ``reoptimize()`` runs one optimizer per task.
+# Serially, every optimizer iteration pays its own Python round trip
+# through ``value_many`` — a handful of small NumPy calls per task per
+# iteration.  :class:`StackedObjective` removes that multiplier: the
+# per-task linear forms are stacked along a new task axis and each
+# lockstep iteration's candidate batches evaluate as *one* batched
+# GEMM (``np.matmul`` over ``(T, P, E) @ (T, E, K·M)``) plus one pass
+# of vectorized loss math across all tasks.
+#
+# Determinism: a batched-matmul slice runs the *same* BLAS kernel with
+# the *same* operand shapes as the per-task ``tensordot`` inside
+# ``LinearChannelForm.evaluate_many``, and every loss reduction keeps
+# its task-local axis order, so stacked losses are bit-identical to
+# per-task evaluation (asserted in tests/orchestrator/test_stacked.py).
+
+
+def _form_contraction(form: LinearChannelForm) -> np.ndarray:
+    """``coeffs`` reshaped to the ``(E, K·M)`` GEMM operand.
+
+    Exactly the operand layout ``np.tensordot(x, coeffs, ([1], [2]))``
+    builds internally, so a matmul against it reproduces
+    :meth:`LinearChannelForm.evaluate_many` bit for bit.
+    """
+    k, m, e = form.coeffs.shape
+    return np.ascontiguousarray(form.coeffs.transpose(2, 0, 1).reshape(e, k * m))
+
+
+class _CoverageStack:
+    """Stackable kernel for one :class:`CoverageObjective`."""
+
+    __slots__ = ("key", "amplitudes", "bt", "offset", "weights", "tx", "noise")
+
+    def __init__(self, obj: "CoverageObjective"):
+        form = obj.form
+        self.key = ("coverage", form.num_points, form.num_antennas, form.num_elements)
+        self.amplitudes = obj.amplitudes
+        self.bt = _form_contraction(form)
+        self.offset = form.offset
+        self.weights = obj._weights
+        self.tx = obj.goal.budget.tx_power_watts
+        self.noise = obj.goal.budget.noise_watts
+
+    @staticmethod
+    def pack(kernels: Sequence["_CoverageStack"]) -> tuple:
+        """Stack per-task operands once; reused across solver iterations."""
+        return (
+            np.stack([kern.amplitudes for kern in kernels]),
+            np.stack([kern.bt for kern in kernels]),
+            np.stack([kern.offset for kern in kernels])[:, None, :, :],
+            np.stack([kern.weights for kern in kernels])[:, None, :],
+            np.array([kern.tx for kern in kernels])[:, None, None],
+            np.array([kern.noise for kern in kernels])[:, None, None],
+        )
+
+    @staticmethod
+    def evaluate_packed(ops: tuple, batch: np.ndarray) -> np.ndarray:
+        amps, bts, offsets, weights, tx, noise = ops
+        g, p, e = batch.shape
+        _, _, k, m = offsets.shape
+        x = amps[:, None, :] * np.exp(1j * batch)  # (G, P, E)
+        h = np.matmul(x, bts).reshape(g, p, k, m) + offsets
+        power = np.sum(np.abs(h) ** 2, axis=3)  # (G, P, K)
+        snr = tx * power / noise
+        return -np.sum(weights * np.log2(1.0 + snr), axis=2)
+
+    @staticmethod
+    def evaluate(kernels: Sequence["_CoverageStack"], batch: np.ndarray) -> np.ndarray:
+        return _CoverageStack.evaluate_packed(_CoverageStack.pack(kernels), batch)
+
+
+class _PoweringStack:
+    """Stackable kernel for one :class:`PoweringObjective`."""
+
+    __slots__ = ("key", "amplitudes", "bt", "offset")
+
+    def __init__(self, obj: "PoweringObjective"):
+        form = obj.form
+        self.key = ("powering", form.num_points, form.num_antennas, form.num_elements)
+        self.amplitudes = obj.amplitudes
+        self.bt = _form_contraction(form)
+        self.offset = form.offset
+
+    @staticmethod
+    def pack(kernels: Sequence["_PoweringStack"]) -> tuple:
+        """Stack per-task operands once; reused across solver iterations."""
+        return (
+            np.stack([kern.amplitudes for kern in kernels]),
+            np.stack([kern.bt for kern in kernels]),
+            np.stack([kern.offset for kern in kernels])[:, None, :, :],
+        )
+
+    @staticmethod
+    def evaluate_packed(ops: tuple, batch: np.ndarray) -> np.ndarray:
+        amps, bts, offsets = ops
+        g, p, e = batch.shape
+        _, _, k, m = offsets.shape
+        x = amps[:, None, :] * np.exp(1j * batch)
+        h = np.matmul(x, bts).reshape(g, p, k, m) + offsets
+        power = np.sum(np.abs(h) ** 2, axis=3)
+        mean_power = np.mean(power, axis=2) + 1e-30
+        return -10.0 * np.log10(mean_power)
+
+    @staticmethod
+    def evaluate(kernels: Sequence["_PoweringStack"], batch: np.ndarray) -> np.ndarray:
+        return _PoweringStack.evaluate_packed(_PoweringStack.pack(kernels), batch)
+
+
+class _JointStack:
+    """Stackable kernel for a :class:`JointObjective` of stackable parts."""
+
+    __slots__ = ("key", "subkernels", "weights")
+
+    def __init__(self, obj: "JointObjective"):
+        self.subkernels = []
+        self.weights = []
+        subkeys = []
+        for part, weight in obj.parts:
+            kernel = _stack_kernel(part)
+            if kernel is None:
+                raise OptimizationError("joint part is not stackable")
+            self.subkernels.append(kernel)
+            self.weights.append(float(weight))
+            subkeys.append(kernel.key)
+        self.key = ("joint", tuple(subkeys))
+
+    @staticmethod
+    def pack(kernels: Sequence["_JointStack"]) -> tuple:
+        """Per-position packed sub-operands plus the stacked weights."""
+        packed = []
+        for pos in range(len(kernels[0].subkernels)):
+            subs = [kern.subkernels[pos] for kern in kernels]
+            weights = np.array([kern.weights[pos] for kern in kernels])
+            packed.append(
+                (type(subs[0]), type(subs[0]).pack(subs), weights[:, None])
+            )
+        return tuple(packed)
+
+    @staticmethod
+    def evaluate_packed(ops: tuple, batch: np.ndarray) -> np.ndarray:
+        g, p, _ = batch.shape
+        total = np.zeros((g, p))
+        for sub_type, sub_ops, weights in ops:
+            total += weights * sub_type.evaluate_packed(sub_ops, batch)
+        return total
+
+    @staticmethod
+    def evaluate(kernels: Sequence["_JointStack"], batch: np.ndarray) -> np.ndarray:
+        return _JointStack.evaluate_packed(_JointStack.pack(kernels), batch)
+
+
+def _stack_kernel(objective: Objective):
+    """The stacked-evaluation kernel for an objective, or ``None``.
+
+    Objectives without a kernel (localization, user-defined losses)
+    still work inside a :class:`StackedObjective` — they just evaluate
+    through their own ``value_many`` instead of the batched GEMM.
+    """
+    try:
+        if type(objective) is CoverageObjective:
+            return _CoverageStack(objective)
+        if type(objective) is PoweringObjective:
+            return _PoweringStack(objective)
+        if type(objective) is JointObjective:
+            return _JointStack(objective)
+    except OptimizationError:
+        return None
+    return None
+
+
+class StackedObjective(Objective):
+    """Vertically stacked per-task objectives over one surface.
+
+    Holds one objective per slotted task (all sharing the surface's
+    phase dimension) and evaluates *per-task candidate batches* —
+    which differ task to task — in one batched BLAS pass wherever the
+    parts stack (coverage/link/powering/security losses over a
+    :class:`LinearChannelForm`), falling back to per-part ``value_many``
+    otherwise.  Built by the lockstep multi-task driver
+    (:meth:`repro.orchestrator.optimizers.Optimizer.optimize_many`).
+
+    This is *not* a scalar loss of one phase vector, so the scalar
+    :class:`Objective` entry points raise; evaluation goes through
+    :meth:`value_many_segments` / :meth:`value_chunks`.
+    """
+
+    def __init__(self, parts: Sequence[Objective]):
+        if not parts:
+            raise OptimizationError("stacked objective needs at least one part")
+        dims = {p.dim for p in parts}
+        if len(dims) != 1:
+            raise OptimizationError(f"parts disagree on dimension: {dims}")
+        self.parts: List[Objective] = list(parts)
+        self.dim = dims.pop()
+        self._kernels = [_stack_kernel(p) for p in self.parts]
+        #: Packed operand stacks per group membership — the lockstep
+        #: driver re-evaluates the same task groups every iteration, so
+        #: the per-task operand stacking happens once, not per call.
+        self._packed: dict = {}
+
+    @property
+    def num_parts(self) -> int:
+        """T, the number of stacked tasks."""
+        return len(self.parts)
+
+    @property
+    def stacked_parts(self) -> int:
+        """How many parts evaluate through a batched kernel."""
+        return sum(1 for k in self._kernels if k is not None)
+
+    def value(self, phases: np.ndarray) -> float:
+        raise OptimizationError(
+            "stacked objectives evaluate via value_many_segments"
+        )
+
+    def value_and_gradient(self, phases: np.ndarray) -> Tuple[float, np.ndarray]:
+        raise OptimizationError(
+            "stacked objectives evaluate via value_many_segments"
+        )
+
+    def value_many(self, phases_batch: np.ndarray) -> np.ndarray:
+        raise OptimizationError(
+            "stacked objectives evaluate via value_many_segments"
+        )
+
+    def value_many_segments(
+        self, batches: Sequence[Optional[np.ndarray]]
+    ) -> List[Optional[np.ndarray]]:
+        """Losses per task for one candidate batch per task.
+
+        ``batches[t]`` is task ``t``'s ``(P_t, E)`` candidate batch, or
+        ``None`` to skip a finished task; returns one ``(P_t,)`` loss
+        vector per task (``None`` where skipped), bit-identical to
+        ``[self.parts[t].value_many(batches[t]) for t]``.
+        """
+        if len(batches) != len(self.parts):
+            raise OptimizationError(
+                f"{len(batches)} batches for {len(self.parts)} parts"
+            )
+        items = [
+            (t, self.parts[t]._check_batch(b))
+            for t, b in enumerate(batches)
+            if b is not None
+        ]
+        values = self.value_chunks(items)
+        out: List[Optional[np.ndarray]] = [None] * len(batches)
+        for (t, _), value in zip(items, values):
+            out[t] = value
+        return out
+
+    def value_chunks(
+        self, items: Sequence[Tuple[int, np.ndarray]]
+    ) -> List[np.ndarray]:
+        """Evaluate ``(part_index, rows)`` chunks, batching across parts.
+
+        The evaluator's distribution unit: chunks with the same kernel
+        shape and row count collapse into one batched matmul; the rest
+        evaluate through their part's own ``value_many``.  Results come
+        back in input order.  Grouping never changes bits — a batched
+        GEMM slice equals the standalone GEMM for the same operands.
+        """
+        results: List[Optional[np.ndarray]] = [None] * len(items)
+        groups: dict = {}
+        for pos, (part_index, rows) in enumerate(items):
+            kernel = self._kernels[part_index]
+            if kernel is None:
+                results[pos] = np.atleast_1d(
+                    np.asarray(self.parts[part_index].value_many(rows))
+                )
+                continue
+            groups.setdefault((kernel.key, rows.shape[0]), []).append(
+                (pos, part_index, rows)
+            )
+        for members in groups.values():
+            kernels = [self._kernels[pi] for _, pi, _ in members]
+            kind = type(kernels[0])
+            cache_key = tuple(pi for _, pi, _ in members)
+            ops = self._packed.get(cache_key)
+            if ops is None:
+                ops = kind.pack(kernels)
+                self._packed[cache_key] = ops
+            batch = np.stack([rows for _, _, rows in members])
+            values = kind.evaluate_packed(ops, batch)
+            for row, (pos, _, _) in zip(values, members):
+                results[pos] = row
+        return results  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# evaluation-spec export (process-pool backend)
+# ----------------------------------------------------------------------
+#
+# The process backend can't share Python objects with its workers, so
+# supported objectives export a *spec*: plain scalars plus tokens for
+# every large array, published once into shared memory by the caller's
+# ``put_array``.  Workers rebuild the objective from the spec with
+# zero-copy views over the shared segments and then run the exact same
+# ``value_many`` code path as the parent — bit-identity by
+# construction, not by reimplementation.
+
+
+def export_objective(objective: Objective, put_array) -> dict:
+    """Serializable evaluation spec for a supported objective.
+
+    ``put_array(ndarray) -> token`` publishes an array (e.g. into
+    shared memory) and returns a token ``restore_objective`` can hand
+    back to fetch it.  Raises :class:`OptimizationError` for objective
+    types without an export (the evaluator then falls back to in-process
+    evaluation).
+    """
+    if type(objective) is CoverageObjective:
+        return {
+            "kind": "coverage",
+            "surface": objective.form.surface_id,
+            "coeffs": put_array(objective.form.coeffs),
+            "offset": put_array(objective.form.offset),
+            "amplitudes": put_array(objective.amplitudes),
+            "weights": (
+                None
+                if objective.goal.weights is None
+                else put_array(np.asarray(objective.goal.weights, dtype=float))
+            ),
+            "budget": _export_budget(objective.goal.budget),
+        }
+    if type(objective) is PoweringObjective:
+        return {
+            "kind": "powering",
+            "surface": objective.form.surface_id,
+            "coeffs": put_array(objective.form.coeffs),
+            "offset": put_array(objective.form.offset),
+            "amplitudes": put_array(objective.amplitudes),
+            "budget": _export_budget(objective.budget),
+        }
+    if type(objective) is LocalizationObjective:
+        return {
+            "kind": "localization",
+            "surface": objective.form.surface_id,
+            "coeffs": put_array(objective.form.coeffs),
+            "offset": put_array(objective.form.offset),
+            "amplitudes": put_array(objective.amplitudes),
+            "predictions": put_array(objective.predictions),
+            "true_idx": put_array(objective.true_idx),
+            "beta": objective.beta,
+            "epsilon": objective.epsilon,
+        }
+    if type(objective) is JointObjective:
+        return {
+            "kind": "joint",
+            "parts": [
+                [export_objective(part, put_array), float(weight)]
+                for part, weight in objective.parts
+            ],
+        }
+    if type(objective) is StackedObjective:
+        return {
+            "kind": "stacked",
+            "parts": [
+                export_objective(part, put_array) for part in objective.parts
+            ],
+        }
+    raise OptimizationError(
+        f"no evaluation spec for {type(objective).__name__}"
+    )
+
+
+def restore_objective(spec: dict, get_array) -> Objective:
+    """Rebuild an objective from :func:`export_objective`'s spec.
+
+    ``get_array(token) -> ndarray`` resolves array tokens (typically
+    attaching shared-memory segments).  The rebuilt objective runs the
+    same evaluation code as the original.
+    """
+    kind = spec["kind"]
+    if kind == "coverage":
+        weights = None if spec["weights"] is None else get_array(spec["weights"])
+        return CoverageObjective(
+            _restore_form(spec, get_array),
+            amplitudes=get_array(spec["amplitudes"]),
+            goal=CoverageGoal(
+                budget=_restore_budget(spec["budget"]), weights=weights
+            ),
+        )
+    if kind == "powering":
+        return PoweringObjective(
+            _restore_form(spec, get_array),
+            amplitudes=get_array(spec["amplitudes"]),
+            budget=_restore_budget(spec["budget"]),
+        )
+    if kind == "localization":
+        return LocalizationObjective(
+            _restore_form(spec, get_array),
+            predictions=get_array(spec["predictions"]),
+            true_angle_indices=get_array(spec["true_idx"]),
+            amplitudes=get_array(spec["amplitudes"]),
+            beta=spec["beta"],
+            epsilon=spec["epsilon"],
+        )
+    if kind == "joint":
+        return JointObjective(
+            [
+                (restore_objective(part, get_array), weight)
+                for part, weight in spec["parts"]
+            ]
+        )
+    if kind == "stacked":
+        return StackedObjective(
+            [restore_objective(part, get_array) for part in spec["parts"]]
+        )
+    raise OptimizationError(f"unknown evaluation spec kind {kind!r}")
+
+
+def _restore_form(spec: dict, get_array) -> LinearChannelForm:
+    return LinearChannelForm(
+        surface_id=spec["surface"],
+        coeffs=get_array(spec["coeffs"]),
+        offset=get_array(spec["offset"]),
+    )
+
+
+def _export_budget(budget: LinkBudget) -> List[float]:
+    return [budget.tx_power_dbm, budget.bandwidth_hz, budget.noise_figure_db]
+
+
+def _restore_budget(fields: Sequence[float]) -> LinkBudget:
+    return LinkBudget(
+        tx_power_dbm=fields[0],
+        bandwidth_hz=fields[1],
+        noise_figure_db=fields[2],
+    )
+
+
 class FiniteDifferenceObjective(Objective):
     """Wrap any black-box loss with central finite differences.
 

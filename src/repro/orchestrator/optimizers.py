@@ -82,11 +82,68 @@ class Optimizer:
         """
         self.evaluator = evaluator
 
+    def unbind_evaluator(self) -> None:
+        """Detach the bound evaluator (candidate batches go direct again).
+
+        Owners of an evaluator's lifecycle (the request pipeline) call
+        this *before* closing it, so the optimizer never holds a closed
+        — or worse, silently resurrectable — worker pool.
+        """
+        self.evaluator = None
+
+    def optimize_many(
+        self,
+        objectives: List[Objective],
+        initial_phases: List[np.ndarray],
+        projection: Optional[Projection] = None,
+    ) -> List[OptimizationResult]:
+        """Optimize several independent tasks over one phase space.
+
+        Each (objective, initial) pair is an independent solve; results
+        come back in input order and every trajectory is bit-identical
+        to calling :meth:`optimize` per pair.  The base implementation
+        *is* that serial loop; value-only optimizers override it with a
+        lockstep driver that stacks the per-task candidate batches into
+        one cross-task evaluation per iteration
+        (:class:`~repro.orchestrator.objectives.StackedObjective`).
+        """
+        if len(objectives) != len(initial_phases):
+            raise OptimizationError(
+                f"{len(objectives)} objectives but "
+                f"{len(initial_phases)} initial phase vectors"
+            )
+        return [
+            self.optimize(objective, initial, projection)
+            for objective, initial in zip(objectives, initial_phases)
+        ]
+
     def _value_many(self, objective: Objective, batch: np.ndarray) -> np.ndarray:
         """Evaluate a candidate batch, via the bound evaluator if any."""
         if self.evaluator is not None:
             return np.asarray(self.evaluator.value_many(objective, batch))
         return np.asarray(objective.value_many(batch))
+
+    def _value_many_segments(self, stacked, batches):
+        """Evaluate per-task candidate batches, stacking across tasks.
+
+        ``stacked`` is a :class:`StackedObjective`; ``batches`` holds
+        one ``(P_t, E)`` batch per part (``None`` skips a task).  Routes
+        through the bound evaluator's ``value_many_segments`` when it
+        has one (same chunk grid per task as ``value_many``, so results
+        match the serial per-task loop bit for bit); degrades to
+        per-task evaluation against evaluators that predate the hook.
+        """
+        if self.evaluator is not None:
+            segments = getattr(self.evaluator, "value_many_segments", None)
+            if segments is not None:
+                return segments(stacked, batches)
+            return [
+                None
+                if batch is None
+                else np.asarray(self.evaluator.value_many(part, batch))
+                for part, batch in zip(stacked.parts, batches)
+            ]
+        return stacked.value_many_segments(batches)
 
     def _count_evals(self, count: int) -> None:
         if self.telemetry is not None and count:
@@ -212,6 +269,67 @@ class RandomSearch(Optimizer):
     decay: float = 0.9
     max_iterations: int = 60
     seed: int = 0
+    #: Solve multiple tasks in lockstep, stacking each iteration's
+    #: candidate batches into one cross-task evaluation.  Bit-identical
+    #: to the serial per-task loop (independent RNG streams, same
+    #: per-task chunk grids); disable to force the serial loop.
+    lockstep: bool = True
+
+    def optimize_many(self, objectives, initial_phases, projection=None):
+        from .objectives import StackedObjective
+
+        if len(objectives) != len(initial_phases):
+            raise OptimizationError(
+                f"{len(objectives)} objectives but "
+                f"{len(initial_phases)} initial phase vectors"
+            )
+        if not self.lockstep or len(objectives) < 2:
+            return super().optimize_many(objectives, initial_phases, projection)
+        stacked = StackedObjective(objectives)
+        tasks = len(objectives)
+        # One RNG per task, all seeded exactly as the serial loop seeds
+        # its fresh per-call generator — each task replays the serial
+        # draw sequence because no other task touches its stream.
+        rngs = [np.random.default_rng(self.seed) for _ in range(tasks)]
+        phases = [
+            np.asarray(p, dtype=float).reshape(-1).copy()
+            for p in initial_phases
+        ]
+        best_losses = [
+            float(objective.value(p))
+            for objective, p in zip(objectives, phases)
+        ]
+        self._count_evals(tasks)
+        evaluations = [1] * tasks
+        histories = [[loss] for loss in best_losses]
+        scales = [self.initial_scale] * tasks
+        for _ in range(self.max_iterations):
+            candidates = []
+            for t in range(tasks):
+                offsets = rngs[t].normal(
+                    scale=scales[t], size=(self.population, phases[t].size)
+                )
+                candidates.append(phases[t][None, :] + offsets)
+            losses_per_task = self._value_many_segments(stacked, candidates)
+            self._count_evals(self.population * tasks)
+            for t in range(tasks):
+                losses = np.asarray(losses_per_task[t])
+                evaluations[t] += self.population
+                j = int(np.argmin(losses))
+                if losses[j] < best_losses[t]:
+                    best_losses[t] = float(losses[j])
+                    phases[t] = candidates[t][j].copy()
+                else:
+                    scales[t] *= self.decay
+                histories[t].append(best_losses[t])
+        return [
+            self._finalize(
+                objectives[t], phases[t], histories[t],
+                len(histories[t]) - 1, False, projection,
+                evaluations=evaluations[t],
+            )
+            for t in range(tasks)
+        ]
 
     def optimize(self, objective, initial_phases, projection=None):
         rng = np.random.default_rng(self.seed)
@@ -262,6 +380,98 @@ class SimulatedAnnealing(Optimizer):
     proposal_scale: float = 1.5
     speculation: int = 8
     seed: int = 0
+    #: Solve multiple tasks in lockstep (see :class:`RandomSearch`).
+    #: Tasks accept/anneal at different rates, so later rounds evaluate
+    #: only the still-active subset; trajectories stay bit-identical to
+    #: the serial per-task loop.
+    lockstep: bool = True
+
+    def optimize_many(self, objectives, initial_phases, projection=None):
+        from .objectives import StackedObjective
+
+        if len(objectives) != len(initial_phases):
+            raise OptimizationError(
+                f"{len(objectives)} objectives but "
+                f"{len(initial_phases)} initial phase vectors"
+            )
+        if not self.lockstep or len(objectives) < 2:
+            return super().optimize_many(objectives, initial_phases, projection)
+        if not 0.0 < self.subset_fraction <= 1.0:
+            raise OptimizationError("subset_fraction must lie in (0, 1]")
+        if self.speculation < 1:
+            raise OptimizationError("speculation must be at least 1")
+        stacked = StackedObjective(objectives)
+        tasks = len(objectives)
+        rngs = [np.random.default_rng(self.seed) for _ in range(tasks)]
+        phases = [
+            np.asarray(p, dtype=float).reshape(-1).copy()
+            for p in initial_phases
+        ]
+        current = [
+            float(objective.value(p))
+            for objective, p in zip(objectives, phases)
+        ]
+        self._count_evals(tasks)
+        evaluations = [1] * tasks
+        best_phases = [p.copy() for p in phases]
+        best_losses = list(current)
+        histories = [[loss] for loss in current]
+        temperatures = [self.initial_temperature] * tasks
+        subsets = [
+            max(1, int(round(self.subset_fraction * p.size))) for p in phases
+        ]
+        steps_done = [0] * tasks
+        # Accepted proposals cut a speculative block short, so tasks
+        # drift apart in step count; each round stacks the blocks of
+        # whichever tasks still have budget.
+        while True:
+            active = [t for t in range(tasks) if steps_done[t] < self.steps]
+            if not active:
+                break
+            candidates: List[Optional[np.ndarray]] = [None] * tasks
+            uniforms = [None] * tasks
+            for t in active:
+                block = min(self.speculation, self.steps - steps_done[t])
+                rows = np.tile(phases[t], (block, 1))
+                for j in range(block):
+                    idx = rngs[t].choice(
+                        phases[t].size, size=subsets[t], replace=False
+                    )
+                    rows[j, idx] += rngs[t].normal(
+                        scale=self.proposal_scale, size=subsets[t]
+                    )
+                candidates[t] = rows
+                uniforms[t] = rngs[t].random(block)
+            losses_per_task = self._value_many_segments(stacked, candidates)
+            self._count_evals(sum(len(candidates[t]) for t in active))
+            for t in active:
+                block = len(candidates[t])
+                evaluations[t] += block
+                losses = np.asarray(losses_per_task[t])
+                for j in range(block):
+                    loss = float(losses[j])
+                    accept = loss < current[t] or uniforms[t][j] < math.exp(
+                        -(loss - current[t]) / max(temperatures[t], 1e-12)
+                    )
+                    if accept:
+                        phases[t] = candidates[t][j].copy()
+                        current[t] = loss
+                        if loss < best_losses[t]:
+                            best_phases[t] = phases[t].copy()
+                            best_losses[t] = loss
+                    histories[t].append(current[t])
+                    steps_done[t] += 1
+                    temperatures[t] *= self.cooling
+                    if accept:
+                        break
+        return [
+            self._finalize(
+                objectives[t], best_phases[t], histories[t],
+                steps_done[t], False, projection,
+                evaluations=evaluations[t],
+            )
+            for t in range(tasks)
+        ]
 
     def optimize(self, objective, initial_phases, projection=None):
         if not 0.0 < self.subset_fraction <= 1.0:

@@ -591,6 +591,89 @@ class SurfaceOrchestrator:
                         )
         return phases
 
+    def _optimize_slotted(
+        self,
+        model: ChannelModel,
+        contexts: Sequence[_TaskContext],
+        optimizable: Sequence[SurfacePanel],
+        rounds: int,
+        eval_counts: Optional[Dict[str, int]] = None,
+    ) -> Dict[str, Dict[str, np.ndarray]]:
+        """Block-coordinate search for the time-division tasks, in lockstep.
+
+        Each slotted task is an *independent* solve (its own codebook
+        entry, its own phase state), so instead of running
+        :meth:`_optimize_group` once per task the tasks advance together
+        through :meth:`Optimizer.optimize_many`: every optimizer
+        iteration evaluates all tasks' candidate batches as one stacked
+        cross-task call.  Per-task trajectories are bit-identical to the
+        serial per-task loop — independent RNG streams, per-task linear
+        forms, per-task chunk grids — only the wall-clock changes.
+
+        Returns the optimized flat phases per task id per surface.
+        """
+        from .optimizers import panel_projection
+
+        states: Dict[str, Dict[str, np.ndarray]] = {
+            ctx.task.task_id: {
+                p.panel_id: p.configuration.flat_phases() for p in optimizable
+            }
+            for ctx in contexts
+        }
+        by_id = {p.panel_id: p for p in self.hardware.panels()}
+
+        def coeffs(state: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+            out = {}
+            for sid, panel in by_id.items():
+                if sid in state:
+                    out[sid] = coefficients_from_phases(panel, state[sid])
+                else:
+                    out[sid] = panel.configuration.coefficients().reshape(-1)
+            return out
+
+        forms = LinearFormCache(model, telemetry=self.telemetry)
+        for round_index in range(rounds):
+            for panel in optimizable:
+                sid = panel.panel_id
+                with self.telemetry.span(
+                    "optimize-panel",
+                    panel=sid,
+                    round=round_index,
+                    tasks=len(contexts),
+                ) as span:
+                    amplitudes = panel.configuration.amplitudes.reshape(-1)
+                    objectives: List[Objective] = []
+                    initials: List[np.ndarray] = []
+                    for ctx in contexts:
+                        state = states[ctx.task.task_id]
+                        form = forms.linear_form(sid, coeffs(state))
+                        objectives.append(
+                            self._task_objective(
+                                ctx, form, amplitudes, sid, model
+                            )
+                        )
+                        initials.append(state[sid])
+                    results = self.optimizer.optimize_many(
+                        objectives, initials, projection=panel_projection(panel)
+                    )
+                    for ctx, result in zip(contexts, results):
+                        states[ctx.task.task_id][sid] = result.phases
+                    span.set(
+                        iterations=sum(r.iterations for r in results),
+                        loss=sum(r.loss for r in results),
+                    )
+                self.telemetry.counter(
+                    "orchestrator.objective_evaluations",
+                    sum(r.evaluations for r in results),
+                )
+                if eval_counts is not None:
+                    for ctx, result in zip(contexts, results):
+                        task_id = ctx.task.task_id
+                        eval_counts[task_id] = (
+                            eval_counts.get(task_id, 0) + result.evaluations
+                        )
+        return states
+
     def _phases_to_config(
         self, panel: SurfacePanel, phases: np.ndarray, name: str
     ) -> SurfaceConfiguration:
@@ -678,18 +761,21 @@ class SurfaceOrchestrator:
                             f"orchestrated@{self.clock_now:.3f}",
                         )
 
-                for ctx in slotted_contexts:
-                    phases = self._optimize_group(
-                        model, [ctx], optimizable, rounds, eval_counts
+                if slotted_contexts:
+                    slot_phases = self._optimize_slotted(
+                        model, slotted_contexts, optimizable, rounds,
+                        eval_counts,
                     )
-                    entry = {}
-                    for panel in optimizable:
-                        entry[panel.panel_id] = self._phases_to_config(
-                            panel,
-                            phases[panel.panel_id],
-                            f"task-{ctx.task.task_id}",
-                        )
-                    slot_configs[ctx.task.task_id] = entry
+                    for ctx in slotted_contexts:
+                        phases = slot_phases[ctx.task.task_id]
+                        entry = {}
+                        for panel in optimizable:
+                            entry[panel.panel_id] = self._phases_to_config(
+                                panel,
+                                phases[panel.panel_id],
+                                f"task-{ctx.task.task_id}",
+                            )
+                        slot_configs[ctx.task.task_id] = entry
             timing["optimize_s"] = span.wall_duration_s
 
             if push:

@@ -4,14 +4,17 @@ See :class:`RequestPipeline` for the architecture; attach one to a
 booted kernel with :meth:`repro.core.kernel.SurfOS.attach_pipeline`.
 """
 
-from .config import PipelineConfig
+from .config import EvaluationConfig, PipelineConfig
 from .pipeline import PipelineStats, RequestPipeline, TickResult
 from .queue import PriorityClass, QueuedRequest, RequestQueue
-from .workers import BatchEvaluator
+from .workers import BatchEvaluator, ProcessPoolEvaluator, build_evaluator
 
 __all__ = [
     "BatchEvaluator",
+    "EvaluationConfig",
     "PipelineConfig",
+    "ProcessPoolEvaluator",
+    "build_evaluator",
     "PipelineStats",
     "PriorityClass",
     "QueuedRequest",

@@ -3,8 +3,48 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..core.errors import ServiceError
+
+#: Evaluation backends the pipeline can build.
+EVALUATION_BACKENDS = ("thread", "process")
+
+
+@dataclass(frozen=True)
+class EvaluationConfig:
+    """How candidate batches are evaluated during solves.
+
+    Attributes:
+        backend: ``"thread"`` (GIL-sharing pool over BLAS calls, zero
+            setup cost) or ``"process"`` (worker processes over
+            shared-memory objective arrays — no GIL at all).  Either
+            backend is bit-identical to serial evaluation at any
+            ``parallelism`` (see :mod:`repro.pipeline.workers`).
+        parallelism: worker threads/processes; 1 keeps evaluation on
+            (or, for ``process``, behind) the calling thread.
+        chunk: rows per evaluation chunk.  The chunk grid depends only
+            on this — never on ``parallelism`` or ``backend`` — which
+            is what makes parallel evaluation deterministic.
+        start_method: multiprocessing start method for the process
+            backend (``None`` picks ``fork`` where available).
+    """
+
+    backend: str = "thread"
+    parallelism: int = 1
+    chunk: int = 8
+    start_method: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in EVALUATION_BACKENDS:
+            raise ServiceError(
+                f"backend must be one of {EVALUATION_BACKENDS}, "
+                f"got {self.backend!r}"
+            )
+        if self.parallelism < 1:
+            raise ServiceError("parallelism must be at least 1")
+        if self.chunk < 1:
+            raise ServiceError("chunk must be at least 1")
 
 
 @dataclass(frozen=True)
@@ -32,6 +72,11 @@ class PipelineConfig:
             cost.  Off by default: wall time is nondeterministic, and
             determinism tests diff sim-clocked telemetry.
         reoptimize_rounds: block-coordinate rounds per coalesced solve.
+        evaluation: full evaluation-backend config.  ``None`` (the
+            default) derives one from the legacy ``parallelism`` /
+            ``eval_chunk`` fields with the thread backend; passing one
+            explicitly overrides those fields (they are kept mirrored
+            for readers).
     """
 
     queue_capacity: int = 64
@@ -41,6 +86,7 @@ class PipelineConfig:
     eval_chunk: int = 8
     charge_compute: bool = False
     reoptimize_rounds: int = 2
+    evaluation: Optional[EvaluationConfig] = None
 
     def __post_init__(self) -> None:
         if self.queue_capacity < 1:
@@ -55,3 +101,15 @@ class PipelineConfig:
             raise ServiceError("eval_chunk must be at least 1")
         if self.reoptimize_rounds < 1:
             raise ServiceError("reoptimize_rounds must be at least 1")
+        if self.evaluation is None:
+            object.__setattr__(
+                self,
+                "evaluation",
+                EvaluationConfig(
+                    parallelism=self.parallelism, chunk=self.eval_chunk
+                ),
+            )
+        else:
+            # Keep the legacy mirror fields consistent for readers.
+            object.__setattr__(self, "parallelism", self.evaluation.parallelism)
+            object.__setattr__(self, "eval_chunk", self.evaluation.chunk)

@@ -40,7 +40,7 @@ from ..core.errors import ServiceError
 from ..runtime.clock import SimClock
 from .config import PipelineConfig
 from .queue import RequestQueue
-from .workers import BatchEvaluator
+from .workers import build_evaluator
 
 
 @dataclass
@@ -142,13 +142,11 @@ class RequestPipeline:
         self.config = config or PipelineConfig()
         self.telemetry = broker.telemetry
         self.queue = RequestQueue(self.config.queue_capacity)
-        self.evaluator = BatchEvaluator(
-            parallelism=self.config.parallelism,
-            chunk=self.config.eval_chunk,
-        )
+        self.evaluator = build_evaluator(self.config.evaluation)
+        self.evaluator.bind_telemetry(self.telemetry)
         # Candidate-batch evaluation routes through the worker pool for
         # every parallelism setting — the chunk grid, not the worker
-        # count, is what the results depend on.
+        # count or backend, is what the results depend on.
         self.orchestrator.optimizer.bind_evaluator(self.evaluator)
         self.stats = PipelineStats()
         self._handles: List[ServiceHandle] = []
@@ -308,5 +306,14 @@ class RequestPipeline:
         return results
 
     def close(self) -> None:
-        """Release the evaluation worker pool."""
+        """Release the evaluation worker pool.
+
+        Unbinds the optimizer first: a closed evaluator is terminal,
+        and leaving it bound would make the next ``optimize()`` raise
+        instead of quietly re-spawning a pool nobody owns (the pre-fix
+        behavior leaked a thread pool per solve after close).
+        """
+        optimizer = self.orchestrator.optimizer
+        if optimizer.evaluator is self.evaluator:
+            optimizer.unbind_evaluator()
         self.evaluator.close()

@@ -35,6 +35,13 @@ from typing import (
 )
 
 
+#: Metric namespaces that describe the *host's* execution strategy
+#: (worker counts, evaluation backend) rather than the simulation.
+#: Sim-only exports drop them: two runs of one seeded scenario must be
+#: byte-identical regardless of how the machine evaluated the solves.
+HOST_METRIC_PREFIXES = ("evaluator.",)
+
+
 def _strip_wall_fields(value: object) -> object:
     """Recursively drop ``wall_*`` keys (used by sim-only exports)."""
     if isinstance(value, dict):
@@ -46,6 +53,22 @@ def _strip_wall_fields(value: object) -> object:
     if isinstance(value, list):
         return [_strip_wall_fields(v) for v in value]
     return value
+
+
+def _strip_host_metrics(metrics: Dict[str, object]) -> Dict[str, object]:
+    """Drop host-execution metrics from a counters/gauges mapping."""
+    return {
+        name: value
+        for name, value in metrics.items()
+        if not str(name).startswith(HOST_METRIC_PREFIXES)
+    }
+
+
+def _format_metric(value: object) -> str:
+    """Render a counter/gauge value (numeric or label) for a table."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    return f"{value:g}"
 
 
 @dataclass(frozen=True)
@@ -211,7 +234,7 @@ class TelemetrySnapshot:
 
     spans: Dict[str, SpanStats]
     counters: Dict[str, float]
-    gauges: Dict[str, float]
+    gauges: Dict[str, object]
     events_logged: int
     events_dropped: int
 
@@ -259,7 +282,7 @@ class TelemetrySnapshot:
             )
         if self.gauges:
             rows = [
-                (name, f"{value:g}")
+                (name, _format_metric(value))
                 for name, value in sorted(self.gauges.items())
             ]
             blocks.append(
@@ -294,7 +317,7 @@ class Telemetry:
         self._events: Deque[TelemetryEvent] = deque(maxlen=max_events)
         self._span_stats: Dict[str, SpanStats] = {}
         self._counters: Dict[str, float] = {}
-        self._gauges: Dict[str, float] = {}
+        self._gauges: Dict[str, object] = {}
         self._stack: List[str] = []
         self._seq = 0
         self._dropped = 0
@@ -368,8 +391,12 @@ class Telemetry:
         self._counters[name] = total
         return total
 
-    def gauge(self, name: str, value: float) -> None:
-        """Set a named gauge to its latest value."""
+    def gauge(self, name: str, value) -> None:
+        """Set a named gauge to its latest value (a number or a label).
+
+        String values make configuration visible in the same place as
+        measurements (e.g. ``evaluator.backend = "process"``).
+        """
         if not self.enabled:
             return
         self._gauges[name] = value
@@ -467,6 +494,11 @@ class Telemetry:
         records.append(summary)
         if sim_only:
             records = [_strip_wall_fields(r) for r in records]
+            stripped = records[-1]
+            for section in ("counters", "gauges"):
+                values = stripped.get(section)
+                if isinstance(values, dict):
+                    stripped[section] = _strip_host_metrics(values)
         lines = [json.dumps(r, sort_keys=True) for r in records]
         text = "\n".join(lines) + "\n"
         if path is not None:

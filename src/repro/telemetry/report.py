@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..analysis.tables import render_table
 from ..core.errors import SurfOSError
-from .core import SpanStats
+from .core import SpanStats, _format_metric
 
 
 def load_jsonl(path: str) -> List[Dict[str, object]]:
@@ -142,7 +142,10 @@ def render_report(records: List[Dict[str, object]]) -> str:
         )
     counters = (snapshot or {}).get("counters") or {}
     if counters:
-        rows = [(name, f"{value:g}") for name, value in sorted(counters.items())]
+        rows = [
+            (name, _format_metric(value))
+            for name, value in sorted(counters.items())
+        ]
         blocks.append(
             render_table(
                 ("counter", "value"), rows, title="Telemetry report: counters"
@@ -150,7 +153,10 @@ def render_report(records: List[Dict[str, object]]) -> str:
         )
     gauges = (snapshot or {}).get("gauges") or {}
     if gauges:
-        rows = [(name, f"{value:g}") for name, value in sorted(gauges.items())]
+        rows = [
+            (name, _format_metric(value))
+            for name, value in sorted(gauges.items())
+        ]
         blocks.append(
             render_table(("gauge", "value"), rows, title="Telemetry report: gauges")
         )

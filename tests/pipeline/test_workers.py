@@ -65,3 +65,41 @@ def test_close_is_idempotent():
     ev.value_many(SummingObjective(), np.zeros((8, 2)))
     ev.close()
     ev.close()
+
+
+def test_close_is_terminal():
+    # Regression: a closed evaluator silently fell back to serial
+    # evaluation instead of failing loudly; now any use after close()
+    # is an error.
+    ev = BatchEvaluator(parallelism=2, chunk=2)
+    ev.close()
+    with pytest.raises(RuntimeError):
+        ev.value_many(SummingObjective(), np.zeros((4, 2)))
+
+
+def test_pipeline_close_unbinds_evaluator():
+    from .conftest import build_kernel
+
+    system = build_kernel(clients=1)
+    pipeline = system.attach_pipeline()
+    optimizer = system.orchestrator.optimizer
+    assert optimizer.evaluator is pipeline.evaluator
+    pipeline.close()
+    # The optimizer must not keep a closed evaluator bound — the next
+    # direct reoptimize() would hit the terminal-close error.
+    assert optimizer.evaluator is None
+
+
+def test_telemetry_counters_and_gauges():
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry()
+    ev = BatchEvaluator(parallelism=3, chunk=4)
+    ev.bind_telemetry(telemetry)
+    ev.value_many(SummingObjective(), np.zeros((10, 3)))
+    snapshot = telemetry.snapshot()
+    assert snapshot.counters["evaluator.batches"] == 1
+    assert snapshot.counters["evaluator.chunks"] == 3
+    assert snapshot.gauges["evaluator.backend"] == "thread"
+    assert snapshot.gauges["evaluator.parallelism"] == 3
+    ev.close()
