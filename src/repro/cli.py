@@ -15,6 +15,8 @@ Usage::
     python -m repro.cli faults --seed 7 --jsonl /tmp/faults.jsonl
     python -m repro.cli pipeline --requests 10 --json /tmp/bench.json
     python -m repro.cli fleet --shards 3 --requests 12 --seed 7
+    python -m repro.cli load --model poisson --rate 20 --requests 100000
+    python -m repro.cli load --model flash-crowd --slo "interactive=0.2"
     python -m repro.cli info
 
 Every experiment prints the same rendering its benchmark asserts on.
@@ -29,7 +31,13 @@ benchmark (serial vs pipelined admission) and exits nonzero if the
 pipelined p99 latency exceeds serial.  ``fleet`` runs the multi-shard
 scenario (quarantine spill + roaming handoff) and exits nonzero when
 the interactive SLO is missed; its ``--jsonl`` export is sim-only and
-byte-stable per seed, diffed by the ``fleet-smoke`` CI job.
+byte-stable per seed, diffed by the ``fleet-smoke`` CI job.  ``load``
+replays a seeded arrival model (Poisson, diurnal, flash-crowd, burst,
+or a recorded JSONL trace) through the modeled control plane and gates
+on an ``--slo`` policy (per-class p99 bounds + satisfaction floor);
+``pipeline``, ``fleet``, ``faults``, and ``load`` all share one
+result contract — render, optional ``--json`` artifact, ``FAIL:``
+lines on stderr, nonzero exit on any gate violation.
 """
 
 from __future__ import annotations
@@ -240,6 +248,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_faults(args: argparse.Namespace) -> int:
     from .experiments import degradation
+    from .experiments.result import finish
 
     system = degradation.build_system(
         seed=args.seed, panel_size=args.panels
@@ -250,18 +259,16 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         panel_size=args.panels,
         system=system,
     )
-    print(result.render())
+    code = finish(result, args.json, artifact_label="scenario results")
     if args.jsonl:
         system.telemetry.export_jsonl(args.jsonl, sim_only=True)
         print(f"\nsim-only event log written to {args.jsonl}")
-    ok = result.recovered_within_bound and result.reoptimize_failures == 0
-    return 0 if ok else 1
+    return code
 
 
 def _cmd_pipeline(args: argparse.Namespace) -> int:
-    import json
-
     from .experiments import arrivals
+    from .experiments.result import finish
 
     result = arrivals.run(
         requests=args.requests,
@@ -269,37 +276,12 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         seed=args.seed,
         backend=args.eval_backend,
     )
-    print(result.render())
-    if args.json:
-        payload = {
-            "requests": result.requests,
-            "rate_hz": result.rate_hz,
-            "seed": result.seed,
-            "speedup": round(result.speedup, 3),
-            "coalesce_ratio": round(result.coalesce_ratio, 3),
-            "serial": result.serial.summary(),
-            "pipelined": result.pipelined.summary(),
-        }
-        with open(args.json, "w") as fh:
-            json.dump(payload, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        print(f"\nbenchmark results written to {args.json}")
-    # The regression gate: pipelining must never make tail latency
-    # worse than serial admission on the same trace.
-    ok = result.pipelined.p99_latency_s <= result.serial.p99_latency_s
-    if not ok:
-        print(
-            f"FAIL: pipelined p99 {result.pipelined.p99_latency_s:.3f}s "
-            f"exceeds serial p99 {result.serial.p99_latency_s:.3f}s",
-            file=sys.stderr,
-        )
-    return 0 if ok else 1
+    return finish(result, args.json, artifact_label="benchmark results")
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
-    import json
-
     from .experiments import fleet as fleet_experiment
+    from .experiments.result import finish
 
     result = fleet_experiment.run(
         shards=args.shards,
@@ -310,24 +292,55 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         backend=args.eval_backend,
         jsonl=args.jsonl,
     )
-    print(result.render())
+    code = finish(result, args.json, artifact_label="scenario results")
     if args.jsonl:
         print(f"\nsim-only event log written to {args.jsonl}")
-    if args.json:
-        with open(args.json, "w") as fh:
-            json.dump(result.summary(), fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        print(f"\nscenario results written to {args.json}")
-    # The gate: quarantining a shard must never drop interactive
-    # requests — they spill to healthy shards instead.
-    if not result.slo_met:
-        print(
-            f"FAIL: interactive SLO missed "
-            f"({result.interactive_served}/{result.interactive_total} "
-            f"served)",
-            file=sys.stderr,
+    return code
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    from .core.errors import SurfOSError
+    from .experiments.result import finish
+    from .load import (
+        LoadConfig,
+        LoadHarness,
+        SLOPolicy,
+        build_model,
+        write_trace,
+    )
+
+    try:
+        model = build_model(
+            args.model,
+            requests=args.requests,
+            rate_hz=args.rate,
+            seed=args.seed,
+            trace=args.trace,
+            period_s=args.period,
+            depth=args.depth,
+            flash_at_s=args.flash_at,
+            flash_duration_s=args.flash_duration,
+            multiplier=args.multiplier,
         )
-    return 0 if result.slo_met else 1
+        slo = SLOPolicy.parse(args.slo) if args.slo else None
+        config_kwargs = {"queue_capacity": args.queue_capacity}
+        if args.window > 0:
+            # A fixed window replaces the adaptive controller.
+            config_kwargs["coalesce_window_s"] = args.window
+            config_kwargs["adaptive"] = None
+        config = LoadConfig(**config_kwargs)
+    except (SurfOSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.record_trace:
+        write_trace(args.record_trace, model.times())
+        print(f"arrival trace written to {args.record_trace}")
+    harness = LoadHarness(config)
+    result = harness.run(model, slo=slo, jsonl=args.jsonl)
+    code = finish(result, args.json, artifact_label="load results")
+    if args.jsonl:
+        print(f"\nsim-only event log written to {args.jsonl}")
+    return code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -446,6 +459,9 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="export the sim-only (wall-clock-free) event log",
     )
+    faults.add_argument(
+        "--json", metavar="FILE", help="write the scenario summary as JSON"
+    )
     faults.set_defaults(fn=_cmd_faults)
 
     pipeline = sub.add_parser(
@@ -517,6 +533,104 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="FILE", help="write the scenario summary as JSON"
     )
     fleet.set_defaults(fn=_cmd_fleet)
+
+    load = sub.add_parser(
+        "load",
+        help="trace-driven load harness: arrival models + SLO gate",
+    )
+    load.add_argument(
+        "--model",
+        choices=("poisson", "diurnal", "flash-crowd", "burst", "trace"),
+        default="poisson",
+        help="arrival model (default poisson)",
+    )
+    load.add_argument(
+        "--requests", type=int, default=10_000, help="requests in the run"
+    )
+    load.add_argument(
+        "--rate",
+        type=float,
+        default=20.0,
+        metavar="HZ",
+        help="mean arrival rate (default 20)",
+    )
+    load.add_argument(
+        "--seed", type=int, default=0, help="arrival/class-mix seed"
+    )
+    load.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="JSONL arrival trace to replay (model=trace)",
+    )
+    load.add_argument(
+        "--record-trace",
+        metavar="FILE",
+        help="write the model's arrival times as a JSONL trace first",
+    )
+    load.add_argument(
+        "--period",
+        type=float,
+        default=None,
+        metavar="S",
+        help="diurnal: rate-profile period in seconds",
+    )
+    load.add_argument(
+        "--depth",
+        type=float,
+        default=None,
+        help="diurnal: modulation depth in [0, 1]",
+    )
+    load.add_argument(
+        "--flash-at",
+        type=float,
+        default=None,
+        metavar="S",
+        help="flash-crowd: spike start time",
+    )
+    load.add_argument(
+        "--flash-duration",
+        type=float,
+        default=None,
+        metavar="S",
+        help="flash-crowd: spike duration",
+    )
+    load.add_argument(
+        "--multiplier",
+        type=float,
+        default=None,
+        help="flash-crowd: rate multiplier during the spike",
+    )
+    load.add_argument(
+        "--slo",
+        metavar="SPEC",
+        help=(
+            "SLO policy, e.g. "
+            "'interactive=0.2,normal=1.0,bulk=5.0,satisfaction=0.95,"
+            "p99=2.0' — violations exit nonzero"
+        ),
+    )
+    load.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=256,
+        help="admission queue capacity (default 256)",
+    )
+    load.add_argument(
+        "--window",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="fixed coalesce window; 0 = adaptive (default)",
+    )
+    load.add_argument(
+        "--json", metavar="FILE", help="write the load summary as JSON"
+    )
+    load.add_argument(
+        "--jsonl",
+        metavar="FILE",
+        help="export the sim-only (wall-clock-free) event log",
+    )
+    load.set_defaults(fn=_cmd_load)
     return parser
 
 

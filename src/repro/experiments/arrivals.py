@@ -37,9 +37,14 @@ from ..geometry.floorplans import apartment_sites, two_room_apartment
 from ..hwmgr.devices import AccessPoint, ClientDevice
 from ..orchestrator.optimizers import Optimizer, RandomSearch
 from ..orchestrator.tasks import reset_task_counter
-from ..pipeline import EvaluationConfig, PipelineConfig
+from ..pipeline import (
+    AdaptiveCoalesceConfig,
+    EvaluationConfig,
+    PipelineConfig,
+)
 from ..surfaces.catalog import GENERIC_PROGRAMMABLE_28
 from ..surfaces.panel import SurfacePanel
+from .result import ExperimentResultBase
 from .scenario import CARRIER_HZ
 
 #: Elements per panel side.  Large enough that solve compute dominates
@@ -50,7 +55,8 @@ PANEL_SIZE = 16
 #: Default optimizer budget per solve (see PANEL_SIZE).
 SOLVE_ITERATIONS = 100
 
-#: Default coalescing window / tick step for the pipelined discipline.
+#: Cap on the adaptive coalescing window (and the fixed window / tick
+#: step of the legacy fixed-grid mode, kept for comparison runs).
 COALESCE_WINDOW_S = 0.1
 TICK_DT_S = 0.1
 
@@ -110,7 +116,7 @@ class ModeResult:
 
 
 @dataclass
-class ArrivalSweepResult:
+class ArrivalSweepResult(ExperimentResultBase):
     """Serial vs pipelined over one arrival trace."""
 
     serial: ModeResult
@@ -126,6 +132,27 @@ class ArrivalSweepResult:
         if self.serial.throughput_rps <= 0:
             return float("inf")
         return self.pipelined.throughput_rps / self.serial.throughput_rps
+
+    def summary(self) -> Dict[str, object]:
+        """Flat form for JSON artifacts and the CI gate."""
+        return {
+            "requests": self.requests,
+            "rate_hz": self.rate_hz,
+            "seed": self.seed,
+            "speedup": round(self.speedup, 3),
+            "coalesce_ratio": round(self.coalesce_ratio, 3),
+            "serial": self.serial.summary(),
+            "pipelined": self.pipelined.summary(),
+        }
+
+    def gate_failures(self) -> List[str]:
+        """Pipelining must never make tail latency worse than serial."""
+        if self.pipelined.p99_latency_s <= self.serial.p99_latency_s:
+            return []
+        return [
+            f"pipelined p99 {self.pipelined.p99_latency_s:.3f}s exceeds "
+            f"serial p99 {self.serial.p99_latency_s:.3f}s"
+        ]
 
     def render(self) -> str:
         """Human-readable comparison table."""
@@ -161,14 +188,18 @@ class ArrivalSweepResult:
 def arrival_times(
     requests: int, rate_hz: float, seed: int = 0
 ) -> np.ndarray:
-    """Seeded Poisson arrival times; ``rate_hz <= 0`` means one burst."""
-    if requests < 1:
-        raise ValueError("need at least one request")
+    """Seeded Poisson arrival times; ``rate_hz <= 0`` means one burst.
+
+    Thin wrapper over the :mod:`repro.load` arrival models, so the
+    benchmark and the load harness replay the exact same streams.
+    """
+    from ..load.models import BurstArrivals, PoissonArrivals
+
     if rate_hz <= 0:
-        return np.zeros(requests)
-    rng = np.random.default_rng(seed)
-    gaps = rng.exponential(1.0 / rate_hz, size=requests)
-    return np.cumsum(gaps) - gaps[0]  # first arrival at t=0
+        model = BurstArrivals(requests, seed=seed)
+    else:
+        model = PoissonArrivals(requests, rate_hz=rate_hz, seed=seed)
+    return np.fromiter(model.times(), dtype=float, count=requests)
 
 
 def _demands(requests: int) -> List[ApplicationDemand]:
@@ -245,33 +276,50 @@ def run_serial(
     seed: int = 0,
     panel_size: int = PANEL_SIZE,
     optimizer: Optional[Optimizer] = None,
+    backend: str = "thread",
 ) -> ModeResult:
     """The pre-pipeline discipline: one full solve per arriving demand.
 
     A busy-server model: each request starts when both it has arrived
     and the previous solve finished; its service time is the measured
     solve wall time plus the hardware settle the push paid.
+
+    The same evaluation backend the pipelined discipline uses is bound
+    here too, so the comparison isolates the control-plane discipline
+    (per-request solves vs batched, coalesced solves) rather than
+    mixing in evaluator differences.
     """
+    from ..pipeline import build_evaluator
+
     system = build_system(
         requests, seed=seed, panel_size=panel_size, optimizer=optimizer
     )
+    evaluator = build_evaluator(
+        EvaluationConfig(backend=backend, parallelism=2)
+    )
+    evaluator.bind_telemetry(system.telemetry)
+    system.orchestrator.optimizer.bind_evaluator(evaluator)
     arrivals = arrival_times(requests, rate_hz, seed=seed)
     result = ModeResult(mode="serial", served=0)
     free_at = 0.0
     last_done = 0.0
-    for arrival, demand in zip(arrivals, _demands(requests)):
-        start = max(float(arrival), free_at)
-        system.broker.register_application(demand)
-        began = time.perf_counter()
-        reopt = system.orchestrator.reoptimize(now=start)
-        wall = time.perf_counter() - began
-        result.wall_s += wall
-        result.reoptimizations += 1
-        done = start + wall + reopt.settle_s
-        result.latencies_s.append(done - float(arrival))
-        result.served += 1
-        free_at = done
-        last_done = done
+    try:
+        for arrival, demand in zip(arrivals, _demands(requests)):
+            start = max(float(arrival), free_at)
+            system.broker.register_application(demand)
+            began = time.perf_counter()
+            reopt = system.orchestrator.reoptimize(now=start)
+            wall = time.perf_counter() - began
+            result.wall_s += wall
+            result.reoptimizations += 1
+            done = start + wall + reopt.settle_s
+            result.latencies_s.append(done - float(arrival))
+            result.served += 1
+            free_at = done
+            last_done = done
+    finally:
+        system.orchestrator.optimizer.unbind_evaluator()
+        evaluator.close()
     result.span_s = last_done - float(arrivals[0])
     return result
 
@@ -283,21 +331,25 @@ def run_pipelined(
     panel_size: int = PANEL_SIZE,
     optimizer: Optional[Optimizer] = None,
     config: Optional[PipelineConfig] = None,
-    dt: float = TICK_DT_S,
+    dt: Optional[float] = None,
     horizon_s: float = 600.0,
     backend: str = "thread",
 ):
     """The pipelined discipline over the same trace; returns the pipeline.
 
-    Submissions are scheduled on the sim clock at their arrival times;
-    the tick loop drains, batch-admits, and coalesces until every
-    request settles (or the horizon passes).
+    Submissions are scheduled on the sim clock at their arrival times.
+    By default the pipeline runs **event-driven**
+    (:meth:`~repro.pipeline.RequestPipeline.pump`) under **adaptive
+    coalescing**: a lone steady-state request is admitted and solved at
+    its exact arrival instant (zero window), while bursts still
+    coalesce into joint solves.  Pass ``dt`` to force the legacy
+    fixed-grid tick loop instead.
     """
     system = build_system(
         requests, seed=seed, panel_size=panel_size, optimizer=optimizer
     )
     config = config or PipelineConfig(
-        coalesce_window_s=COALESCE_WINDOW_S,
+        adaptive=AdaptiveCoalesceConfig(max_window_s=COALESCE_WINDOW_S),
         charge_compute=True,
         evaluation=EvaluationConfig(backend=backend, parallelism=2),
     )
@@ -309,12 +361,15 @@ def run_pipelined(
         pipeline.clock.schedule(
             float(arrival), lambda d=demand: pipeline.submit(d)
         )
-    while pipeline.clock.now < horizon_s:
-        pipeline.clock.advance(dt)
-        pipeline.tick()
-        settled = pipeline.stats.rejected + len(pipeline.stats.latencies)
-        if settled >= requests and not pipeline.queue.depth:
-            break
+    if dt is None:
+        pipeline.pump(horizon_s)
+    else:
+        while pipeline.clock.now < horizon_s:
+            pipeline.clock.advance(dt)
+            pipeline.tick()
+            settled = pipeline.stats.rejected + len(pipeline.stats.latencies)
+            if settled >= requests and not pipeline.queue.depth:
+                break
     return pipeline
 
 
@@ -324,12 +379,16 @@ def run(
     seed: int = 0,
     panel_size: int = PANEL_SIZE,
     config: Optional[PipelineConfig] = None,
-    dt: float = TICK_DT_S,
+    dt: Optional[float] = None,
     backend: str = "thread",
 ) -> ArrivalSweepResult:
     """Both disciplines over one seeded trace; the benchmark entry point."""
     serial = run_serial(
-        requests, rate_hz=rate_hz, seed=seed, panel_size=panel_size
+        requests,
+        rate_hz=rate_hz,
+        seed=seed,
+        panel_size=panel_size,
+        backend=backend,
     )
     pipeline = run_pipelined(
         requests,

@@ -18,7 +18,7 @@ seed, so CI runs it twice and diffs the telemetry exports.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,6 +30,7 @@ from ..hwmgr.devices import AccessPoint
 from ..orchestrator.optimizers import Adam, Optimizer
 from ..surfaces.catalog import GENERIC_PROGRAMMABLE_28
 from ..surfaces.panel import SurfacePanel
+from .result import ExperimentResultBase
 from .scenario import CARRIER_HZ
 
 #: Panels in the bedroom array.
@@ -69,7 +70,7 @@ def panel_sites() -> List[Tuple[str, Tuple[float, float, float], Tuple[float, fl
 
 
 @dataclass
-class DegradationResult:
+class DegradationResult(ExperimentResultBase):
     """Outcome of one degraded-mode recovery run.
 
     Attributes:
@@ -108,6 +109,42 @@ class DegradationResult:
     def recovered_within_bound(self) -> bool:
         """Whether recovery met the stated bound."""
         return self.recovery_gap_db <= self.recovery_bound_db
+
+    def summary(self) -> Dict[str, object]:
+        """Flat form for JSON artifacts and the CI gate."""
+        return {
+            "seed": self.seed,
+            "killed": list(self.killed),
+            "fault_time_s": round(self.fault_time_s, 6),
+            "pre_fault_median_snr_db": round(
+                self.pre_fault_median_snr_db, 4
+            ),
+            "degraded_median_snr_db": round(self.degraded_median_snr_db, 4),
+            "recovered_median_snr_db": round(
+                self.recovered_median_snr_db, 4
+            ),
+            "recovery_gap_db": round(self.recovery_gap_db, 4),
+            "recovery_bound_db": self.recovery_bound_db,
+            "reaction_latency_s": round(self.reaction_latency_s, 6),
+            "reoptimize_failures": self.reoptimize_failures,
+            "faults_injected": self.faults_injected,
+            "recovered_within_bound": self.recovered_within_bound,
+        }
+
+    def gate_failures(self) -> List[str]:
+        """Recovery must land within bound with zero failed solves."""
+        failures = []
+        if not self.recovered_within_bound:
+            failures.append(
+                f"recovery gap {self.recovery_gap_db:.1f} dB exceeds "
+                f"bound {self.recovery_bound_db:.1f} dB"
+            )
+        if self.reoptimize_failures:
+            failures.append(
+                f"{self.reoptimize_failures} reoptimize failures during "
+                f"recovery (degraded-mode guarantee requires zero)"
+            )
+        return failures
 
     def render(self) -> str:
         """Human-readable run summary."""

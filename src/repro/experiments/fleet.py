@@ -39,6 +39,7 @@ from ..fleet import (
     StaticZoneMap,
 )
 from ..orchestrator.tasks import reset_task_counter
+from .result import ExperimentResultBase
 
 #: Elements per panel side — small: three full SurfOS stacks boot here.
 PANEL_SIZE = 6
@@ -133,7 +134,7 @@ def _demands(
 
 
 @dataclass
-class FleetResult:
+class FleetResult(ExperimentResultBase):
     """Outcome of one fleet scenario run."""
 
     shards: int
@@ -166,6 +167,15 @@ class FleetResult:
     def slo_met(self) -> bool:
         """The gate: every interactive request was served, none dropped."""
         return self.interactive_served == self.interactive_total
+
+    def gate_failures(self) -> List[str]:
+        """Quarantine spill must never drop interactive requests."""
+        if self.slo_met:
+            return []
+        return [
+            f"interactive SLO missed ({self.interactive_served}/"
+            f"{self.interactive_total} served)"
+        ]
 
     def summary(self) -> Dict[str, object]:
         """Flat form for JSON artifacts and the CI gate."""

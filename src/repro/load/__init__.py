@@ -1,0 +1,56 @@
+"""repro.load — trace-driven load harness with SLO gating.
+
+The workload/measurement layer of the control plane: pluggable seeded
+:class:`ArrivalModel` streams (Poisson, diurnal, flash-crowd, trace
+replay, burst), O(1)-per-event streaming :mod:`collectors
+<repro.load.collectors>`, :class:`SLOPolicy` gates, and the
+:class:`LoadHarness` that replays 10⁵–10⁶ requests through a modeled
+control plane sharing the real pipeline's coalescing and priority
+machinery.  See DESIGN.md §"Workloads, collectors, and SLO gates".
+"""
+
+from .collectors import (
+    CollectorSet,
+    LatencyCollector,
+    QueueDepthCollector,
+    ReoptimizationCollector,
+    SatisfactionCollector,
+)
+from .harness import DEFAULT_CLASS_MIX, LoadConfig, LoadHarness, LoadResult
+from .models import (
+    MODEL_NAMES,
+    ArrivalModel,
+    BurstArrivals,
+    DiurnalArrivals,
+    FlashCrowdArrivals,
+    PoissonArrivals,
+    TraceReplay,
+    build_model,
+    read_trace,
+    write_trace,
+)
+from .slo import SLOPolicy, SLOReport
+
+__all__ = [
+    "ArrivalModel",
+    "BurstArrivals",
+    "CollectorSet",
+    "DEFAULT_CLASS_MIX",
+    "DiurnalArrivals",
+    "FlashCrowdArrivals",
+    "LatencyCollector",
+    "LoadConfig",
+    "LoadHarness",
+    "LoadResult",
+    "MODEL_NAMES",
+    "PoissonArrivals",
+    "QueueDepthCollector",
+    "ReoptimizationCollector",
+    "SatisfactionCollector",
+    "SLOPolicy",
+    "SLOReport",
+    "TraceReplay",
+    "build_model",
+    "read_trace",
+    "write_trace",
+]

@@ -1,0 +1,227 @@
+"""Streaming metric collectors for the load harness.
+
+A 10⁶-request run cannot keep per-request records; every collector here
+is O(1) per observation and O(buckets) in memory, built on
+:class:`~repro.telemetry.StreamingHistogram` (fixed-bucket quantile
+sketches: percentile error is bounded by one bucket width).
+
+Collectors:
+
+* :class:`LatencyCollector` — submit→served latency, overall and per
+  :class:`~repro.pipeline.PriorityClass`.
+* :class:`SatisfactionCollector` — served / rejected / unserved counts
+  per class; ``rate`` is the fraction of submitted requests that were
+  actually served.
+* :class:`QueueDepthCollector` — queue depth sampled at every arrival.
+* :class:`ReoptimizationCollector` — solve count, absorbed triggers,
+  charged solve cost, chosen coalescing windows.
+
+:class:`CollectorSet` bundles the four and fans events out; the harness
+talks only to it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..pipeline.queue import PriorityClass
+from ..telemetry import Telemetry
+from ..telemetry.histogram import StreamingHistogram
+
+__all__ = [
+    "LatencyCollector",
+    "SatisfactionCollector",
+    "QueueDepthCollector",
+    "ReoptimizationCollector",
+    "CollectorSet",
+]
+
+#: Latency histogram grid: 1 ms buckets to ~8 s, overflow beyond.
+LATENCY_BUCKET_S = 0.001
+LATENCY_BUCKETS = 8192
+
+
+def _class_label(pclass: PriorityClass) -> str:
+    return pclass.name.lower()
+
+
+class LatencyCollector:
+    """Submit→served latency percentiles, overall and per class."""
+
+    def __init__(
+        self,
+        bucket_width: float = LATENCY_BUCKET_S,
+        buckets: int = LATENCY_BUCKETS,
+    ):
+        self.overall = StreamingHistogram(bucket_width, buckets)
+        self.by_class: Dict[PriorityClass, StreamingHistogram] = {
+            pclass: StreamingHistogram(bucket_width, buckets)
+            for pclass in PriorityClass
+        }
+
+    def observe(self, pclass: PriorityClass, latency_s: float) -> None:
+        self.overall.observe(latency_s)
+        self.by_class[pclass].observe(latency_s)
+
+    def p99(self, pclass: Optional[PriorityClass] = None) -> float:
+        hist = self.overall if pclass is None else self.by_class[pclass]
+        return hist.percentile(99.0)
+
+    def summary(self) -> Dict[str, object]:
+        out: Dict[str, object] = dict(self.overall.as_dict("latency_s."))
+        for pclass, hist in self.by_class.items():
+            if hist.count:
+                prefix = f"latency_s.{_class_label(pclass)}."
+                out.update(hist.as_dict(prefix))
+        return out
+
+
+class SatisfactionCollector:
+    """How many submitted requests actually got served.
+
+    ``rate`` counts a request as satisfied only when it was admitted
+    and served within the run horizon — rejections (backpressure) and
+    requests still in flight at the end both count against it.
+    """
+
+    def __init__(self):
+        self.submitted = 0
+        self.rejected = 0
+        self.served: Dict[PriorityClass, int] = {
+            pclass: 0 for pclass in PriorityClass
+        }
+
+    def observe_submitted(self) -> None:
+        self.submitted += 1
+
+    def observe_rejected(self) -> None:
+        self.rejected += 1
+
+    def observe_served(self, pclass: PriorityClass) -> None:
+        self.served[pclass] += 1
+
+    @property
+    def total_served(self) -> int:
+        return sum(self.served.values())
+
+    @property
+    def rate(self) -> float:
+        if not self.submitted:
+            return 0.0
+        return self.total_served / self.submitted
+
+    def summary(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "served": self.total_served,
+            "satisfaction": round(self.rate, 6),
+        }
+        for pclass, count in self.served.items():
+            if count:
+                out[f"served.{_class_label(pclass)}"] = count
+        return out
+
+
+class QueueDepthCollector:
+    """Queue depth sampled at every arrival (integer-bucket histogram)."""
+
+    def __init__(self, max_depth: int = 4096):
+        self.hist = StreamingHistogram(bucket_width=1.0, buckets=max_depth)
+
+    def observe(self, depth: int) -> None:
+        self.hist.observe(float(depth))
+
+    def summary(self) -> Dict[str, object]:
+        return dict(self.hist.as_dict("queue_depth."))
+
+
+class ReoptimizationCollector:
+    """Solve counts, absorbed triggers, charged cost, chosen windows."""
+
+    def __init__(self):
+        self.reoptimizations = 0
+        self.triggers = 0
+        self.solve_cost_s = 0.0
+        self.window_sum_s = 0.0
+        self.window_max_s = 0.0
+
+    def observe_trigger(self) -> None:
+        self.triggers += 1
+
+    def observe_solve(
+        self, coalesced: int, cost_s: float, window_s: float
+    ) -> None:
+        self.reoptimizations += 1
+        self.solve_cost_s += cost_s
+        self.window_sum_s += window_s
+        self.window_max_s = max(self.window_max_s, window_s)
+
+    @property
+    def coalesce_ratio(self) -> float:
+        if not self.reoptimizations:
+            return 0.0
+        return self.triggers / self.reoptimizations
+
+    def summary(self) -> Dict[str, object]:
+        mean_window = (
+            self.window_sum_s / self.reoptimizations
+            if self.reoptimizations
+            else 0.0
+        )
+        return {
+            "reoptimizations": self.reoptimizations,
+            "triggers": self.triggers,
+            "coalesce_ratio": round(self.coalesce_ratio, 3),
+            "solve_cost_s": round(self.solve_cost_s, 6),
+            "mean_window_s": round(mean_window, 6),
+            "max_window_s": round(self.window_max_s, 6),
+        }
+
+
+class CollectorSet:
+    """The harness-facing bundle: one call site per event kind.
+
+    When bound to a :class:`~repro.telemetry.Telemetry`, the headline
+    events are mirrored as ``load.*`` counters/histograms so sim-only
+    JSONL exports carry them (deterministically — only sim-clock values
+    are recorded).
+    """
+
+    def __init__(self, telemetry: Optional[Telemetry] = None):
+        self.latency = LatencyCollector()
+        self.satisfaction = SatisfactionCollector()
+        self.queue_depth = QueueDepthCollector()
+        self.reoptimization = ReoptimizationCollector()
+        self.telemetry = telemetry or Telemetry(enabled=False)
+
+    def on_submitted(self, queue_depth: int) -> None:
+        self.satisfaction.observe_submitted()
+        self.queue_depth.observe(queue_depth)
+        self.telemetry.counter("load.submitted")
+
+    def on_rejected(self) -> None:
+        self.satisfaction.observe_rejected()
+        self.telemetry.counter("load.rejected")
+
+    def on_trigger(self) -> None:
+        self.reoptimization.observe_trigger()
+        self.telemetry.counter("load.triggers")
+
+    def on_solve(self, coalesced: int, cost_s: float, window_s: float) -> None:
+        self.reoptimization.observe_solve(coalesced, cost_s, window_s)
+        self.telemetry.counter("load.reoptimizations")
+
+    def on_served(self, pclass: PriorityClass, latency_s: float) -> None:
+        self.satisfaction.observe_served(pclass)
+        self.latency.observe(pclass, latency_s)
+        self.telemetry.observe("load.latency_s", latency_s)
+
+    def summary(self) -> Dict[str, object]:
+        """All collectors' numbers as one flat dict."""
+        out: Dict[str, object] = {}
+        out.update(self.satisfaction.summary())
+        out.update(self.latency.summary())
+        out.update(self.queue_depth.summary())
+        out.update(self.reoptimization.summary())
+        return out

@@ -1,0 +1,154 @@
+"""Service-level objectives for load runs: bounds, evaluation, gating.
+
+An :class:`SLOPolicy` is a set of per-priority-class p99 latency bounds
+plus a satisfaction floor (minimum fraction of submitted requests that
+must be served).  The harness evaluates the policy against its
+collectors and the CLI turns the verdict into a process exit code — a
+missed SLO fails CI, which is the whole point of a load gate.
+
+Policies parse from a compact CLI spec::
+
+    interactive=0.2,normal=1.0,bulk=5.0,satisfaction=0.95,p99=2.0
+
+``interactive``/``normal``/``bulk`` bound that class's p99 latency in
+seconds, ``p99`` bounds the overall p99, and ``satisfaction`` sets the
+floor (a fraction in [0, 1]).  Any subset of terms is valid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.errors import ServiceError
+from ..pipeline.queue import PriorityClass
+from .collectors import CollectorSet
+
+__all__ = ["SLOPolicy", "SLOReport"]
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """Latency bounds per priority class + a satisfaction floor.
+
+    Attributes:
+        class_p99_s: max p99 submit→served latency (seconds) per
+            priority class; classes absent from the dict are unbounded.
+        overall_p99_s: max p99 across all classes (None = unbounded).
+        satisfaction_floor: minimum served/submitted fraction.
+    """
+
+    class_p99_s: Dict[PriorityClass, float] = field(default_factory=dict)
+    overall_p99_s: Optional[float] = None
+    satisfaction_floor: float = 0.0
+
+    def __post_init__(self) -> None:
+        for pclass, bound in self.class_p99_s.items():
+            if bound <= 0:
+                raise ServiceError(
+                    f"p99 bound for {pclass.name} must be positive"
+                )
+        if self.overall_p99_s is not None and self.overall_p99_s <= 0:
+            raise ServiceError("overall p99 bound must be positive")
+        if not 0.0 <= self.satisfaction_floor <= 1.0:
+            raise ServiceError("satisfaction_floor must be in [0, 1]")
+
+    @classmethod
+    def parse(cls, spec: str) -> "SLOPolicy":
+        """Build a policy from the compact CLI spec (see module doc)."""
+        class_bounds: Dict[PriorityClass, float] = {}
+        overall: Optional[float] = None
+        floor = 0.0
+        class_names = {p.name.lower(): p for p in PriorityClass}
+        for term in spec.split(","):
+            term = term.strip()
+            if not term:
+                continue
+            if "=" not in term:
+                raise ServiceError(
+                    f"bad SLO term {term!r} (expected key=value)"
+                )
+            key, _, raw = term.partition("=")
+            key = key.strip().lower()
+            try:
+                value = float(raw)
+            except ValueError as exc:
+                raise ServiceError(
+                    f"bad SLO value in {term!r}: {raw!r}"
+                ) from exc
+            if key in class_names:
+                class_bounds[class_names[key]] = value
+            elif key == "p99":
+                overall = value
+            elif key == "satisfaction":
+                floor = value
+            else:
+                raise ServiceError(
+                    f"unknown SLO key {key!r} (use "
+                    f"{sorted(class_names)}, 'p99', or 'satisfaction')"
+                )
+        return cls(
+            class_p99_s=class_bounds,
+            overall_p99_s=overall,
+            satisfaction_floor=floor,
+        )
+
+    def evaluate(self, collectors: CollectorSet) -> "SLOReport":
+        """Check every bound against the collected metrics."""
+        violations: List[str] = []
+        satisfaction = collectors.satisfaction.rate
+        if satisfaction < self.satisfaction_floor:
+            violations.append(
+                f"satisfaction {satisfaction:.4f} below floor "
+                f"{self.satisfaction_floor:.4f} "
+                f"({collectors.satisfaction.total_served}/"
+                f"{collectors.satisfaction.submitted} served)"
+            )
+        if self.overall_p99_s is not None:
+            p99 = collectors.latency.p99()
+            if p99 > self.overall_p99_s:
+                violations.append(
+                    f"overall p99 latency {p99:.4f}s exceeds bound "
+                    f"{self.overall_p99_s:.4f}s"
+                )
+        for pclass, bound in sorted(self.class_p99_s.items()):
+            hist = collectors.latency.by_class[pclass]
+            if not hist.count:
+                continue  # no traffic in this class — nothing to bound
+            p99 = hist.percentile(99.0)
+            if p99 > bound:
+                violations.append(
+                    f"{pclass.name.lower()} p99 latency {p99:.4f}s "
+                    f"exceeds bound {bound:.4f}s"
+                )
+        return SLOReport(policy=self, violations=violations)
+
+    def describe(self) -> Dict[str, object]:
+        """Flat dict of the configured bounds (JSON artifacts)."""
+        out: Dict[str, object] = {
+            "satisfaction_floor": self.satisfaction_floor
+        }
+        if self.overall_p99_s is not None:
+            out["p99_s"] = self.overall_p99_s
+        for pclass, bound in sorted(self.class_p99_s.items()):
+            out[f"p99_s.{pclass.name.lower()}"] = bound
+        return out
+
+
+@dataclass
+class SLOReport:
+    """The verdict of one policy evaluation."""
+
+    policy: SLOPolicy
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        if self.ok:
+            return "SLO: all objectives met"
+        lines = ["SLO: VIOLATED"]
+        lines.extend(f"  - {v}" for v in self.violations)
+        return "\n".join(lines)

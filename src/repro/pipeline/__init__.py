@@ -4,12 +4,20 @@ See :class:`RequestPipeline` for the architecture; attach one to a
 booted kernel with :meth:`repro.core.kernel.SurfOS.attach_pipeline`.
 """
 
+from .coalesce import AdaptiveCoalesceConfig, AdaptiveCoalescer
 from .config import EvaluationConfig, PipelineConfig
-from .pipeline import PipelineStats, RequestPipeline, TickResult
+from .pipeline import (
+    WINDOW_CLOSE_EPS_S,
+    PipelineStats,
+    RequestPipeline,
+    TickResult,
+)
 from .queue import PriorityClass, QueuedRequest, RequestQueue
 from .workers import BatchEvaluator, ProcessPoolEvaluator, build_evaluator
 
 __all__ = [
+    "AdaptiveCoalesceConfig",
+    "AdaptiveCoalescer",
     "BatchEvaluator",
     "EvaluationConfig",
     "PipelineConfig",
@@ -21,4 +29,5 @@ __all__ = [
     "RequestPipeline",
     "RequestQueue",
     "TickResult",
+    "WINDOW_CLOSE_EPS_S",
 ]

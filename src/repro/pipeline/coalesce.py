@@ -1,0 +1,150 @@
+"""Adaptive reoptimization coalescing: window sized by measured pressure.
+
+The fixed ``coalesce_window_s`` the pipeline shipped with is a blunt
+trade: on a burst it collapses N triggers into one joint solve (the
+3.6x headline), but at sparse steady-state arrival rates every lone
+request still pays the whole window as pure added latency — the
+rate-sweep regression (speedups 0.95/0.93 at 2–5 Hz) in
+``BENCH_pipeline.json`` was exactly that tax.
+
+:class:`AdaptiveCoalescer` replaces the constant with a classic
+batch-while-busy controller, driven only by sim-clock observations so
+it stays deterministic:
+
+* **Pressure** is the EWMA of inter-trigger gaps, and — crucially —
+  while a window is open the *silence since the last trigger* counts
+  against it: ``pressure_gap = max(gap_ewma, now - last_trigger_at)``.
+  A window that is waiting for companions that never come collapses on
+  its own.
+* **Worth waiting?**  Coalescing pays when triggers arrive faster than
+  the control plane can solve, i.e. when ``pressure_gap`` is below the
+  (EWMA-smoothed) solve cost.  Then the window opens to about one
+  solve's worth of time — the server would have been busy anyway, so
+  the wait is free — clamped to ``[min_window_s, max_window_s]``.
+* **Idle → zero.**  When the expected gap exceeds the solve cost the
+  window is ``min_window_s`` (0 by default): a lone steady-state
+  request is solved on the tick it is admitted, paying no window at
+  all (the "incremental admission" half of the rate-sweep fix).
+
+Solve costs are observed from *charged* sim time only (the pipeline
+feeds measured wall time when ``charge_compute`` is on, and the load
+harness feeds its deterministic modeled cost); without charging the
+cost estimate stays at the configured prior, keeping byte-identical
+same-seed runs byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.errors import ServiceError
+
+__all__ = ["AdaptiveCoalesceConfig", "AdaptiveCoalescer"]
+
+
+@dataclass(frozen=True)
+class AdaptiveCoalesceConfig:
+    """Tuning for one :class:`AdaptiveCoalescer`.
+
+    Attributes:
+        min_window_s: window when idle (0 = solve on the admitting
+            tick).
+        max_window_s: hard cap on how long triggers may coalesce.
+        alpha: EWMA weight of the newest inter-trigger gap (and of the
+            newest solve cost); higher reacts faster.
+        busy_factor: the window opens when the pressure gap is at most
+            ``busy_factor × solve-cost estimate``.
+        initial_cost_s: solve-cost prior used until real charged costs
+            are observed (and forever when compute is not charged to
+            the sim clock — determinism over adaptivity).
+    """
+
+    min_window_s: float = 0.0
+    max_window_s: float = 0.5
+    alpha: float = 0.4
+    busy_factor: float = 1.25
+    initial_cost_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.min_window_s < 0:
+            raise ServiceError("min_window_s must be non-negative")
+        if self.max_window_s < self.min_window_s:
+            raise ServiceError("max_window_s must be >= min_window_s")
+        if not 0.0 < self.alpha <= 1.0:
+            raise ServiceError("alpha must be in (0, 1]")
+        if self.busy_factor <= 0:
+            raise ServiceError("busy_factor must be positive")
+        if self.initial_cost_s < 0:
+            raise ServiceError("initial_cost_s must be non-negative")
+
+
+class AdaptiveCoalescer:
+    """Deterministic, sim-clock-driven coalescing-window controller."""
+
+    __slots__ = ("config", "_gap_hat", "_last_trigger_at", "_cost_hat")
+
+    def __init__(self, config: Optional[AdaptiveCoalesceConfig] = None):
+        self.config = config or AdaptiveCoalesceConfig()
+        self._gap_hat: Optional[float] = None
+        self._last_trigger_at: Optional[float] = None
+        self._cost_hat = self.config.initial_cost_s
+
+    # -- observations ----------------------------------------------------
+
+    def observe_trigger(self, at: float) -> None:
+        """Fold one reoptimization trigger (sim time) into the pressure."""
+        if self._last_trigger_at is not None:
+            gap = max(0.0, at - self._last_trigger_at)
+            if self._gap_hat is None:
+                self._gap_hat = gap
+            else:
+                alpha = self.config.alpha
+                self._gap_hat = alpha * gap + (1.0 - alpha) * self._gap_hat
+        self._last_trigger_at = at
+
+    def observe_solve_cost(self, cost_s: float) -> None:
+        """Fold one charged solve cost (sim seconds) into the estimate."""
+        if cost_s < 0:
+            return
+        alpha = self.config.alpha
+        self._cost_hat = alpha * cost_s + (1.0 - alpha) * self._cost_hat
+
+    # -- the window ------------------------------------------------------
+
+    @property
+    def solve_cost_estimate_s(self) -> float:
+        """Current EWMA of the charged solve cost."""
+        return self._cost_hat
+
+    def pressure_gap_s(self, now: float) -> float:
+        """Effective inter-trigger gap: EWMA, aged by current silence."""
+        if self._last_trigger_at is None or self._gap_hat is None:
+            return float("inf")
+        return max(self._gap_hat, now - self._last_trigger_at)
+
+    def window_s(self, now: float) -> float:
+        """The coalescing window to apply at sim time ``now``.
+
+        Monotonically non-increasing between triggers: with no new
+        trigger the pressure gap only grows, so an open window never
+        extends itself — it either holds or collapses to the minimum.
+        """
+        cfg = self.config
+        gap = self.pressure_gap_s(now)
+        if gap > cfg.busy_factor * self._cost_hat:
+            return cfg.min_window_s
+        return min(cfg.max_window_s, max(cfg.min_window_s, self._cost_hat))
+
+    def reset(self) -> None:
+        """Forget all pressure/cost history (back to the cold state)."""
+        self._gap_hat = None
+        self._last_trigger_at = None
+        self._cost_hat = self.config.initial_cost_s
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        gap = "∅" if self._gap_hat is None else f"{self._gap_hat:.4f}s"
+        return (
+            f"AdaptiveCoalescer(gap_hat={gap}, "
+            f"cost_hat={self._cost_hat:.4f}s)"
+        )

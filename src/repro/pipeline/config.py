@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import InitVar, dataclass, field
 from typing import Optional
 
 from ..core.errors import ServiceError
+from .coalesce import AdaptiveCoalesceConfig
 
 #: Evaluation backends the pipeline can build.
 EVALUATION_BACKENDS = ("thread", "process")
@@ -14,6 +15,11 @@ EVALUATION_BACKENDS = ("thread", "process")
 @dataclass(frozen=True)
 class EvaluationConfig:
     """How candidate batches are evaluated during solves.
+
+    This is the *single source of truth* for evaluation parallelism:
+    the old ``PipelineConfig.parallelism`` / ``eval_chunk`` mirror
+    fields are retired (they are accepted as init-only conveniences and
+    raise when they conflict with an explicit ``evaluation=``).
 
     Attributes:
         backend: ``"thread"`` (GIL-sharing pool over BLAS calls, zero
@@ -61,44 +67,50 @@ class PipelineConfig:
             waits for companions before one joint
             :meth:`~repro.orchestrator.orchestrator.SurfaceOrchestrator.reoptimize`
             covers them all.  0 fires on the tick after the trigger.
-        parallelism: worker threads for candidate-batch objective
-            evaluation.  1 keeps everything on the calling thread; any
-            value yields bit-identical results (fixed-size chunking).
-        eval_chunk: rows per evaluation chunk.  The chunk grid depends
-            only on this — never on ``parallelism`` — which is what
-            makes parallel evaluation deterministic.
+            Ignored when ``adaptive`` is set.
+        adaptive: when set, the coalescing window is controlled by an
+            :class:`~repro.pipeline.coalesce.AdaptiveCoalescer` — it
+            widens under measured trigger pressure and collapses to
+            (typically) zero when idle, so lone steady-state requests
+            pay no window latency while bursts still coalesce.
         charge_compute: when True, measured reoptimization wall time is
             charged to the sim clock so latency benchmarks see compute
             cost.  Off by default: wall time is nondeterministic, and
             determinism tests diff sim-clocked telemetry.
         reoptimize_rounds: block-coordinate rounds per coalesced solve.
-        evaluation: full evaluation-backend config.  ``None`` (the
-            default) derives one from the legacy ``parallelism`` /
-            ``eval_chunk`` fields with the thread backend; passing one
-            explicitly overrides those fields (they are kept mirrored
-            for readers).
+        evaluation: full evaluation-backend config — the single source
+            of truth for parallelism/chunking (defaults to serial
+            thread-backend evaluation).
+
+    Init-only conveniences (NOT stored — read
+    ``config.evaluation.parallelism`` / ``config.evaluation.chunk``):
+        parallelism, eval_chunk: build the ``evaluation`` config for
+            you.  Passing either together with an explicit
+            ``evaluation=`` raises — there is exactly one place
+            evaluation settings live.
     """
 
     queue_capacity: int = 64
     max_batch: int = 16
     coalesce_window_s: float = 1.0
-    parallelism: int = 1
-    eval_chunk: int = 8
     charge_compute: bool = False
     reoptimize_rounds: int = 2
-    evaluation: Optional[EvaluationConfig] = None
+    adaptive: Optional[AdaptiveCoalesceConfig] = None
+    evaluation: EvaluationConfig = field(default=None)  # type: ignore[assignment]
+    parallelism: InitVar[Optional[int]] = None
+    eval_chunk: InitVar[Optional[int]] = None
 
-    def __post_init__(self) -> None:
+    def __post_init__(
+        self,
+        parallelism: Optional[int],
+        eval_chunk: Optional[int],
+    ) -> None:
         if self.queue_capacity < 1:
             raise ServiceError("queue_capacity must be at least 1")
         if self.max_batch < 1:
             raise ServiceError("max_batch must be at least 1")
         if self.coalesce_window_s < 0:
             raise ServiceError("coalesce_window_s must be non-negative")
-        if self.parallelism < 1:
-            raise ServiceError("parallelism must be at least 1")
-        if self.eval_chunk < 1:
-            raise ServiceError("eval_chunk must be at least 1")
         if self.reoptimize_rounds < 1:
             raise ServiceError("reoptimize_rounds must be at least 1")
         if self.evaluation is None:
@@ -106,10 +118,13 @@ class PipelineConfig:
                 self,
                 "evaluation",
                 EvaluationConfig(
-                    parallelism=self.parallelism, chunk=self.eval_chunk
+                    parallelism=1 if parallelism is None else parallelism,
+                    chunk=8 if eval_chunk is None else eval_chunk,
                 ),
             )
-        else:
-            # Keep the legacy mirror fields consistent for readers.
-            object.__setattr__(self, "parallelism", self.evaluation.parallelism)
-            object.__setattr__(self, "eval_chunk", self.evaluation.chunk)
+        elif parallelism is not None or eval_chunk is not None:
+            raise ServiceError(
+                "pass evaluation settings in exactly one place: either "
+                "an explicit evaluation=EvaluationConfig(...) or the "
+                "parallelism=/eval_chunk= conveniences, not both"
+            )

@@ -38,9 +38,18 @@ from ..broker.demands import ApplicationDemand
 from ..broker.handle import ServiceHandle
 from ..core.errors import ServiceError
 from ..runtime.clock import SimClock
+from .coalesce import AdaptiveCoalescer
 from .config import PipelineConfig
 from .queue import RequestQueue
 from .workers import build_evaluator
+
+#: Tolerance for the window-close comparison.  Tick times accumulate
+#: floating-point error (0.1 + 0.1 + ... drifts in the last ulps), and
+#: a strict ``now - first_at >= window`` then closed windows one tick
+#: late whenever the difference landed a few ulps short — visible as an
+#: inflated coalesce_ratio at steady arrival rates.  Within this
+#: epsilon the boundary counts as reached (inclusive close).
+WINDOW_CLOSE_EPS_S = 1e-9
 
 
 @dataclass
@@ -56,6 +65,10 @@ class PipelineStats:
     reoptimize_failures: int = 0
     #: Sim-clock submit→served latency per served request.
     latencies: List[float] = field(default_factory=list)
+    #: Sum / max of the effective coalescing window at each solve —
+    #: under adaptive coalescing these show what the controller chose.
+    window_sum_s: float = 0.0
+    window_max_s: float = 0.0
 
     @property
     def coalesce_ratio(self) -> float:
@@ -63,6 +76,13 @@ class PipelineStats:
         if not self.reoptimizations:
             return 0.0
         return self.triggers / self.reoptimizations
+
+    @property
+    def mean_window_s(self) -> float:
+        """Mean effective coalescing window across solves."""
+        if not self.reoptimizations:
+            return 0.0
+        return self.window_sum_s / self.reoptimizations
 
     def latency_percentile(self, q: float) -> float:
         """Latency percentile in simulated seconds (0 when unserved)."""
@@ -92,6 +112,8 @@ class PipelineStats:
             "coalesce_ratio": round(self.coalesce_ratio, 3),
             "p50_latency_s": round(self.p50_latency_s, 6),
             "p99_latency_s": round(self.p99_latency_s, 6),
+            "mean_window_s": round(self.mean_window_s, 6),
+            "max_window_s": round(self.window_max_s, 6),
         }
 
 
@@ -151,6 +173,11 @@ class RequestPipeline:
         self.stats = PipelineStats()
         self._handles: List[ServiceHandle] = []
         self._pending_triggers: List[Tuple[float, str]] = []
+        self.coalescer: Optional[AdaptiveCoalescer] = (
+            AdaptiveCoalescer(self.config.adaptive)
+            if self.config.adaptive is not None
+            else None
+        )
 
     # -- intake ----------------------------------------------------------
 
@@ -193,6 +220,19 @@ class RequestPipeline:
         self._pending_triggers.append((at, kind))
         self.stats.triggers += 1
         self.telemetry.counter("pipeline.triggers")
+        if self.coalescer is not None:
+            self.coalescer.observe_trigger(at)
+
+    def effective_window_s(self, now: Optional[float] = None) -> float:
+        """The coalescing window in force at ``now``.
+
+        Fixed ``coalesce_window_s`` normally; under adaptive coalescing
+        the :class:`AdaptiveCoalescer` sizes it from measured trigger
+        pressure versus solve cost.
+        """
+        if self.coalescer is None:
+            return self.config.coalesce_window_s
+        return self.coalescer.window_s(self.clock.now if now is None else now)
 
     # -- the engine ------------------------------------------------------
 
@@ -253,7 +293,11 @@ class RequestPipeline:
         if not self._pending_triggers:
             return
         first_at = self._pending_triggers[0][0]
-        if now - first_at < self.config.coalesce_window_s:
+        window = self.effective_window_s(now)
+        # Inclusive close with an epsilon: accumulated tick times drift
+        # in the last ulps, and a bare `<` kept windows open one whole
+        # tick past their nominal deadline (see WINDOW_CLOSE_EPS_S).
+        if now - first_at < window - WINDOW_CLOSE_EPS_S:
             return
         if not self.orchestrator.active_contexts():
             # Nothing admitted survives to optimize for; the triggers
@@ -281,12 +325,20 @@ class RequestPipeline:
             wall = time.perf_counter() - started
             self.clock.advance(wall)
             self.orchestrator.clock_now += wall
+            if self.coalescer is not None:
+                # Cost feedback only from *charged* (sim-visible) time:
+                # without charging, wall time is nondeterministic and
+                # would leak into window sizing, breaking same-seed runs.
+                self.coalescer.observe_solve_cost(wall)
         outcome.reoptimized = True
         outcome.coalesced = coalesced
         outcome.result = result
         self.stats.reoptimizations += 1
+        self.stats.window_sum_s += window
+        self.stats.window_max_s = max(self.stats.window_max_s, window)
         self.telemetry.counter("pipeline.reoptimizations")
         self.telemetry.gauge("pipeline.coalesced_triggers", len(coalesced))
+        self.telemetry.gauge("pipeline.coalesce_window_s", window)
         served_at = self.orchestrator.clock_now
         for handle in self._handles:
             if handle.served_at is None and handle.admitted_at is not None:
@@ -297,12 +349,76 @@ class RequestPipeline:
 
     # -- conveniences ----------------------------------------------------
 
+    def next_deadline(self, now: Optional[float] = None) -> Optional[float]:
+        """Earliest sim time at which a tick would make progress.
+
+        ``now`` when the queue holds requests (admission is overdue),
+        the first pending trigger's window close otherwise, ``None``
+        when the pipeline is fully idle.  :meth:`pump` drives the clock
+        straight to this instant instead of polling a tick grid.
+        """
+        if now is None:
+            now = self.clock.now
+        if self.queue.depth:
+            return now
+        if self._pending_triggers:
+            first_at = self._pending_triggers[0][0]
+            return max(now, first_at + self.effective_window_s(now))
+        return None
+
     def run(self, steps: int, dt: float = 0.5) -> List[TickResult]:
         """Advance the clock and tick ``steps`` times (tests, benchmarks)."""
         results = []
         for _ in range(steps):
             self.clock.advance(dt)
             results.append(self.tick())
+        return results
+
+    def pump(self, horizon_s: float) -> List[TickResult]:
+        """Event-driven drive loop: tick at exact event times to a horizon.
+
+        Unlike :meth:`run`'s fixed tick grid — which quantizes every
+        admission and window close up to one ``dt`` late — ``pump``
+        advances the sim clock directly to the next meaningful instant:
+        the earliest scheduled clock callback (arrivals, motion) or the
+        pipeline's own :meth:`next_deadline`.  With an adaptive
+        zero-minimum window, a lone request is therefore admitted *and*
+        solved at its exact arrival time.
+
+        Returns when the horizon passes or the system goes fully idle
+        (no scheduled events, nothing queued, nothing pending) —
+        whichever comes first.  Only ticks that did work (drained,
+        admitted, or reoptimized) are returned.
+        """
+        if horizon_s < self.clock.now:
+            raise ServiceError(
+                f"pump horizon {horizon_s} is in the simulated past "
+                f"(now={self.clock.now})"
+            )
+        results: List[TickResult] = []
+        while True:
+            now = self.clock.now
+            targets = []
+            event_at = self.clock.next_event_at()
+            if event_at is not None:
+                targets.append(event_at)
+            deadline = self.next_deadline(now)
+            if deadline is not None:
+                targets.append(deadline)
+            if not targets:
+                # Fully idle: nothing scheduled, nothing queued, nothing
+                # pending — no tick can do work before the caller
+                # schedules more, so pumping further is pointless.
+                break
+            target = min(targets)
+            if target > horizon_s:
+                break
+            self.clock.advance(max(0.0, target - self.clock.now))
+            outcome = self.tick()
+            if outcome.drained or outcome.admitted or outcome.reoptimized:
+                results.append(outcome)
+            if self.clock.now >= horizon_s and self.next_deadline() is None:
+                break
         return results
 
     def close(self) -> None:

@@ -47,6 +47,16 @@ class SimClock:
         self._now = deadline
         return fired
 
+    def next_event_at(self):
+        """Sim time of the earliest scheduled callback (None when idle).
+
+        Event-driven drivers (``RequestPipeline.pump``, the load
+        harness) advance straight to this instant instead of crawling a
+        fixed tick grid — submissions and window deadlines then happen
+        at their exact simulated times.
+        """
+        return self._queue[0][0] if self._queue else None
+
     def pending(self) -> int:
         """Callbacks still scheduled."""
         return len(self._queue)

@@ -18,12 +18,14 @@ from .core import (
     TelemetryEvent,
     TelemetrySnapshot,
 )
+from .histogram import StreamingHistogram
 from .report import load_jsonl, render_profile, render_report, span_self_times
 
 __all__ = [
     "NULL_SPAN",
     "Span",
     "SpanStats",
+    "StreamingHistogram",
     "Telemetry",
     "TelemetryEvent",
     "TelemetrySnapshot",

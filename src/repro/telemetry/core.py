@@ -34,6 +34,8 @@ from typing import (
     Tuple,
 )
 
+from .histogram import StreamingHistogram
+
 
 #: Metric namespaces that describe the *host's* execution strategy
 #: (worker counts, evaluation backend) rather than the simulation.
@@ -237,16 +239,24 @@ class TelemetrySnapshot:
     gauges: Dict[str, object]
     events_logged: int
     events_dropped: int
+    #: Streaming-histogram summaries (p50/p99/p999 etc.), keyed by name.
+    histograms: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-serializable form."""
-        return {
+        out: Dict[str, object] = {
             "spans": {p: s.as_dict() for p, s in self.spans.items()},
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
             "events_logged": self.events_logged,
             "events_dropped": self.events_dropped,
         }
+        if self.histograms:
+            out["histograms"] = {
+                name: dict(summary)
+                for name, summary in self.histograms.items()
+            }
+        return out
 
     def render(self) -> str:
         """Human-readable summary tables (spans, counters, gauges)."""
@@ -288,6 +298,25 @@ class TelemetrySnapshot:
             blocks.append(
                 render_table(("gauge", "value"), rows, title="Telemetry: gauges")
             )
+        if self.histograms:
+            rows = [
+                (
+                    name,
+                    f"{summary.get('count', 0):g}",
+                    f"{summary.get('mean', 0.0):.4g}",
+                    f"{summary.get('p50', 0.0):.4g}",
+                    f"{summary.get('p99', 0.0):.4g}",
+                    f"{summary.get('p999', 0.0):.4g}",
+                )
+                for name, summary in sorted(self.histograms.items())
+            ]
+            blocks.append(
+                render_table(
+                    ("histogram", "count", "mean", "p50", "p99", "p999"),
+                    rows,
+                    title="Telemetry: histograms",
+                )
+            )
         if not blocks:
             return "(no telemetry recorded)"
         return "\n\n".join(blocks)
@@ -318,6 +347,7 @@ class Telemetry:
         self._span_stats: Dict[str, SpanStats] = {}
         self._counters: Dict[str, float] = {}
         self._gauges: Dict[str, object] = {}
+        self._histograms: Dict[str, StreamingHistogram] = {}
         self._stack: List[str] = []
         self._seq = 0
         self._dropped = 0
@@ -335,11 +365,12 @@ class Telemetry:
         self.enabled = False
 
     def reset(self) -> None:
-        """Drop every event, aggregate, counter, and gauge."""
+        """Drop every event, aggregate, counter, gauge, and histogram."""
         self._events.clear()
         self._span_stats.clear()
         self._counters.clear()
         self._gauges.clear()
+        self._histograms.clear()
         self._stack.clear()
         self._seq = 0
         self._dropped = 0
@@ -400,6 +431,32 @@ class Telemetry:
         if not self.enabled:
             return
         self._gauges[name] = value
+
+    def histogram(
+        self,
+        name: str,
+        bucket_width: float = 0.001,
+        buckets: int = 4096,
+    ) -> StreamingHistogram:
+        """The named streaming histogram, created on first use.
+
+        The grid is fixed by the first caller; later callers get the
+        existing histogram regardless of the arguments they pass (one
+        metric, one grid).  Returned histograms stay live — ``observe``
+        on them feeds the snapshot/summary/export path directly.
+        """
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = StreamingHistogram(
+                bucket_width=bucket_width, buckets=buckets
+            )
+        return hist
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold one value into the named histogram (O(1) streaming)."""
+        if not self.enabled:
+            return
+        self.histogram(name).observe(value)
 
     def _next_seq(self) -> int:
         self._seq += 1
@@ -470,6 +527,10 @@ class Telemetry:
             gauges=dict(self._gauges),
             events_logged=len(self._events),
             events_dropped=self._dropped,
+            histograms={
+                name: hist.as_dict()
+                for name, hist in self._histograms.items()
+            },
         )
 
     def export_jsonl(

@@ -1,0 +1,99 @@
+"""SLO policies: spec parsing, evaluation verdicts, reports."""
+
+import pytest
+
+from repro.core.errors import ServiceError
+from repro.load import SLOPolicy
+from repro.load.collectors import CollectorSet
+from repro.pipeline import PriorityClass
+
+
+def _collectors(served_latencies, rejected=0):
+    collectors = CollectorSet()
+    for pclass, latency in served_latencies:
+        collectors.on_submitted(queue_depth=0)
+        collectors.on_served(pclass, latency)
+    for _ in range(rejected):
+        collectors.on_submitted(queue_depth=0)
+        collectors.on_rejected()
+    return collectors
+
+
+class TestParse:
+    def test_full_spec(self):
+        policy = SLOPolicy.parse(
+            "interactive=0.2,normal=1.0,bulk=5.0,satisfaction=0.95,p99=2.0"
+        )
+        assert policy.class_p99_s[PriorityClass.INTERACTIVE] == 0.2
+        assert policy.class_p99_s[PriorityClass.BULK] == 5.0
+        assert policy.overall_p99_s == 2.0
+        assert policy.satisfaction_floor == 0.95
+
+    def test_subset_and_whitespace(self):
+        policy = SLOPolicy.parse(" interactive=0.5 , satisfaction=0.9 ")
+        assert policy.class_p99_s == {PriorityClass.INTERACTIVE: 0.5}
+        assert policy.overall_p99_s is None
+
+    def test_unknown_key(self):
+        with pytest.raises(ServiceError, match="unknown SLO key"):
+            SLOPolicy.parse("latency=1.0")
+
+    def test_bad_value(self):
+        with pytest.raises(ServiceError, match="bad SLO value"):
+            SLOPolicy.parse("interactive=fast")
+
+    def test_missing_equals(self):
+        with pytest.raises(ServiceError, match="key=value"):
+            SLOPolicy.parse("interactive")
+
+    def test_bounds_validated(self):
+        with pytest.raises(ServiceError, match="must be positive"):
+            SLOPolicy.parse("interactive=-1")
+        with pytest.raises(ServiceError, match="satisfaction_floor"):
+            SLOPolicy.parse("satisfaction=1.5")
+
+
+class TestEvaluate:
+    def test_all_met(self):
+        collectors = _collectors(
+            [(PriorityClass.INTERACTIVE, 0.05)] * 20
+        )
+        report = SLOPolicy.parse(
+            "interactive=0.2,satisfaction=0.95"
+        ).evaluate(collectors)
+        assert report.ok
+        assert report.render() == "SLO: all objectives met"
+
+    def test_class_bound_violated(self):
+        collectors = _collectors([(PriorityClass.INTERACTIVE, 0.5)] * 20)
+        report = SLOPolicy.parse("interactive=0.2").evaluate(collectors)
+        assert not report.ok
+        assert "interactive p99" in report.violations[0]
+        assert "VIOLATED" in report.render()
+
+    def test_satisfaction_floor_violated(self):
+        collectors = _collectors(
+            [(PriorityClass.NORMAL, 0.05)] * 8, rejected=2
+        )
+        report = SLOPolicy.parse("satisfaction=0.95").evaluate(collectors)
+        assert not report.ok
+        assert "satisfaction" in report.violations[0]
+
+    def test_overall_p99_violated(self):
+        collectors = _collectors([(PriorityClass.BULK, 3.0)] * 10)
+        report = SLOPolicy.parse("p99=2.0").evaluate(collectors)
+        assert not report.ok
+        assert "overall p99" in report.violations[0]
+
+    def test_empty_class_not_judged(self):
+        # A bound on a class with no traffic cannot be violated.
+        collectors = _collectors([(PriorityClass.NORMAL, 0.05)] * 5)
+        report = SLOPolicy.parse("interactive=0.001").evaluate(collectors)
+        assert report.ok
+
+    def test_describe_keys(self):
+        policy = SLOPolicy.parse("interactive=0.2,p99=2.0,satisfaction=0.9")
+        described = policy.describe()
+        assert described["p99_s.interactive"] == 0.2
+        assert described["p99_s"] == 2.0
+        assert described["satisfaction_floor"] == 0.9

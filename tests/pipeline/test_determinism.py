@@ -10,7 +10,7 @@ count, so no floating-point reduction ever crosses a worker boundary.
 import json
 
 from repro.broker import ApplicationDemand
-from repro.pipeline import PipelineConfig
+from repro.pipeline import EvaluationConfig, PipelineConfig
 
 from .conftest import build_kernel
 
@@ -19,8 +19,7 @@ def _workload(parallelism, path):
     system = build_kernel(clients=4, seed=7)
     pipeline = system.attach_pipeline(
         PipelineConfig(
-            parallelism=parallelism,
-            eval_chunk=4,
+            evaluation=EvaluationConfig(parallelism=parallelism, chunk=4),
             coalesce_window_s=0.2,
         )
     )
