@@ -137,11 +137,17 @@ class _LegEntry:
     ``lo is None`` marks an unbounded corridor (reflection-enriched
     direct legs bounce off walls anywhere in the scene), which any
     attributed environment mutation purges.
+
+    ``prefetched`` marks an entry warmed speculatively and not yet
+    served to a build — the flag clears on first hit (counted as
+    ``channel.prefetch_hits``) and a flagged entry dropped by a purge
+    or eviction counts as ``channel.prefetch_wasted``.
     """
 
     value: np.ndarray
     lo: Optional[np.ndarray]
     hi: Optional[np.ndarray]
+    prefetched: bool = False
 
 
 @dataclass
@@ -218,6 +224,9 @@ class ChannelSimulator:
         self._leg_version = env.version
         self._leg_hits = 0
         self._legs_retraced = 0
+        self._prefetched_legs = 0
+        self._prefetch_hits = 0
+        self._prefetch_wasted = 0
 
     # ------------------------------------------------------------------
 
@@ -230,6 +239,11 @@ class ChannelSimulator:
     def leg_cache_stats(self) -> Tuple[int, int]:
         """(legs served from cache, legs traced) since construction."""
         return (self._leg_hits, self._legs_retraced)
+
+    @property
+    def prefetch_stats(self) -> Tuple[int, int, int]:
+        """(legs prefetched, prefetch hits, prefetch wasted)."""
+        return (self._prefetched_legs, self._prefetch_hits, self._prefetch_wasted)
 
     def _cache_key(
         self,
@@ -471,19 +485,26 @@ class ChannelSimulator:
         use_legs = self.leg_cache_size > 0
         values: Dict[Tuple[str, ...], np.ndarray] = {}
         tasks: List[_LegTask] = []
+        prefetch_hits = 0
         for task in plan:
             entry = self._legs.get(task.key) if use_legs else None
             if entry is not None:
                 self._legs.move_to_end(task.key)
+                if entry.prefetched:
+                    entry.prefetched = False
+                    prefetch_hits += 1
                 values[task.slot] = entry.value
             else:
                 tasks.append(task)
         hits = len(plan) - len(tasks)
         self._leg_hits += hits
         self._legs_retraced += len(tasks)
+        self._prefetch_hits += prefetch_hits
         if hits:
             self.telemetry.counter("channel.leg_cache_hits", hits)
             self.telemetry.counter("channel.partial_rebuilds")
+        if prefetch_hits:
+            self.telemetry.counter("channel.prefetch_hits", prefetch_hits)
         if tasks:
             self.telemetry.counter("channel.legs_retraced", len(tasks))
 
@@ -494,35 +515,7 @@ class ChannelSimulator:
             legs=len(plan),
             retraced=len(tasks),
         ):
-            workers = min(self.parallel_workers, len(tasks))
-            if workers > 1:
-                # Parallel cold trace: each leg is independent and the
-                # map is order-preserving, so assembly (and the leg
-                # cache) sees exactly the serial results.  Per-leg
-                # telemetry is emitted post-join, in plan order, from
-                # this thread — span nesting is not thread-safe and
-                # sim-only exports must stay deterministic.
-                def timed(task: _LegTask) -> Tuple[np.ndarray, float]:
-                    t0 = time.perf_counter()
-                    return task.fn(), time.perf_counter() - t0
-
-                with ThreadPoolExecutor(max_workers=workers) as pool:
-                    traced = list(pool.map(timed, tasks))
-                for task, (value, wall_s) in zip(tasks, traced):
-                    self.telemetry.event(
-                        "leg-trace",
-                        kind=task.name,
-                        wall_trace_s=wall_s,
-                        **task.attrs,
-                    )
-                    values[task.slot] = value
-                    self._store_leg(task, value)
-            else:
-                for task in tasks:
-                    with self.telemetry.span(task.name, **task.attrs):
-                        value = task.fn()
-                    values[task.slot] = value
-                    self._store_leg(task, value)
+            self._trace_tasks(tasks, values)
         if use_legs:
             self.telemetry.gauge("channel.leg_cache_size", len(self._legs))
 
@@ -546,13 +539,116 @@ class ChannelSimulator:
             frequency_hz=self.frequency_hz,
         )
 
-    def _store_leg(self, task: _LegTask, value: np.ndarray) -> None:
+    def _trace_tasks(
+        self,
+        tasks: List[_LegTask],
+        values: Dict[Tuple[str, ...], np.ndarray],
+        prefetched: bool = False,
+    ) -> None:
+        """Trace legs in plan order, serially or across the pool.
+
+        The map is order-preserving — each leg is independent, so
+        assembly (and the leg cache) sees exactly the serial results at
+        any worker count.  Per-leg telemetry is emitted post-trace from
+        this thread, identically for the serial and pooled paths, so
+        sim-only exports are byte-identical regardless of
+        ``parallel_workers``.
+        """
+        if not tasks:
+            return
+
+        def timed(task: _LegTask) -> Tuple[np.ndarray, float]:
+            t0 = time.perf_counter()
+            return task.fn(), time.perf_counter() - t0
+
+        workers = min(self.parallel_workers, len(tasks))
+        if workers > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                traced = list(pool.map(timed, tasks))
+        else:
+            traced = [timed(task) for task in tasks]
+        for task, (value, wall_s) in zip(tasks, traced):
+            self.telemetry.event(
+                "leg-trace",
+                kind=task.name,
+                speculative=prefetched,
+                wall_trace_s=wall_s,
+                **task.attrs,
+            )
+            values[task.slot] = value
+            self._store_leg(task, value, prefetched=prefetched)
+
+    def prefetch(
+        self,
+        ap: RadioNode,
+        points: np.ndarray,
+        panels: Sequence[SurfacePanel],
+        legs: Sequence[str] = ("direct", "s2p"),
+    ) -> int:
+        """Speculatively warm the leg LRU for a predicted point set.
+
+        Traces the selected leg families (slots ``"direct"``,
+        ``"a2s"``, ``"s2p"``, ``"s2s"``) for ``points`` — typically a
+        mobility model's ``peek``-predicted next positions — off the
+        reaction path.  A later ``build`` whose plan lands on the same
+        keys serves them as ordinary cache hits (counted once as
+        ``channel.prefetch_hits``); warmed legs purged or evicted
+        before any build uses them count as ``channel.prefetch_wasted``.
+
+        Prefetching never changes outputs: the leg key digests the
+        exact float bytes of the point set, so a warmed leg is served
+        only to a build computing the identical trace, and assembly is
+        bit-identical whether the leg was traced here or inline.
+
+        Returns the number of legs traced (0 when everything wanted is
+        already cached, or leg caching is disabled).
+        """
+        if self.leg_cache_size <= 0:
+            return 0
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        ids = [p.panel_id for p in panels]
+        if len(set(ids)) != len(ids):
+            raise SimulationError(f"duplicate panel ids: {ids}")
+        self._sync_leg_cache()
+        wanted = set(legs)
+        plan = self._plan_legs(ap, points, panels)
+        tasks = [
+            t
+            for t in plan
+            if t.slot[0] in wanted and t.key not in self._legs
+        ]
+        if not tasks:
+            return 0
+        with self.telemetry.span(
+            "channel-prefetch",
+            points=int(points.shape[0]),
+            panels=len(panels),
+            legs=len(tasks),
+        ):
+            self._trace_tasks(tasks, {}, prefetched=True)
+        self._prefetched_legs += len(tasks)
+        self.telemetry.counter("channel.prefetch_legs", len(tasks))
+        self.telemetry.gauge("channel.leg_cache_size", len(self._legs))
+        return len(tasks)
+
+    def _count_wasted(self, count: int) -> None:
+        if count:
+            self._prefetch_wasted += count
+            self.telemetry.counter("channel.prefetch_wasted", count)
+
+    def _store_leg(
+        self, task: _LegTask, value: np.ndarray, prefetched: bool = False
+    ) -> None:
         if self.leg_cache_size <= 0:
             return
         while len(self._legs) >= self.leg_cache_size:
-            self._legs.popitem(last=False)
+            _, evicted = self._legs.popitem(last=False)
             self.telemetry.counter("channel.leg_cache_evictions")
-        self._legs[task.key] = _LegEntry(value, task.lo, task.hi)
+            if evicted.prefetched:
+                self._count_wasted(1)
+        self._legs[task.key] = _LegEntry(
+            value, task.lo, task.hi, prefetched=prefetched
+        )
 
     def _sync_leg_cache(self) -> None:
         """Reconcile the leg cache with environment mutations.
@@ -570,9 +666,11 @@ class ChannelSimulator:
             return
         if regions is None:
             purged = len(self._legs)
+            wasted = sum(1 for e in self._legs.values() if e.prefetched)
             self._legs.clear()
             self.telemetry.counter("channel.leg_cache_full_purges")
             self.telemetry.counter("channel.legs_purged", purged)
+            self._count_wasted(wasted)
         else:
             pad = _CORRIDOR_PAD
             drop = [
@@ -584,10 +682,12 @@ class ChannelSimulator:
                     for lo, hi in regions
                 )
             ]
+            wasted = sum(1 for key in drop if self._legs[key].prefetched)
             for key in drop:
                 del self._legs[key]
             if drop:
                 self.telemetry.counter("channel.legs_purged", len(drop))
+            self._count_wasted(wasted)
         self.telemetry.gauge("channel.leg_cache_size", len(self._legs))
 
     # ------------------------------------------------------------------
@@ -654,6 +754,9 @@ class ChannelSimulator:
         self._leg_version = self.env.version
         self._leg_hits = 0
         self._legs_retraced = 0
+        self._prefetched_legs = 0
+        self._prefetch_hits = 0
+        self._prefetch_wasted = 0
         self.telemetry.counter("channel.cache_invalidations")
         self.telemetry.gauge("channel.cache_size", 0)
         self.telemetry.gauge("channel.leg_cache_size", 0)

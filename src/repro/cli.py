@@ -291,7 +291,31 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         parallelism=args.workers,
         backend=args.eval_backend,
         jsonl=args.jsonl,
+        scene=args.scene,
     )
+    code = finish(result, args.json, artifact_label="scenario results")
+    if args.jsonl:
+        print(f"\nsim-only event log written to {args.jsonl}")
+    return code
+
+
+def _cmd_mobility(args: argparse.Namespace) -> int:
+    from .experiments import mobility
+    from .experiments.result import finish
+
+    config = mobility.MobilityConfig(
+        scene=args.scene,
+        seed=args.seed,
+        steps=args.steps,
+        dt_s=args.dt,
+        clients=args.clients,
+        walkers=args.walkers,
+        churn_rate_hz=args.churn_rate,
+        prefetch=not args.no_prefetch,
+        channel_workers=args.workers,
+        panel_size=args.panel_size,
+    )
+    result = mobility.run(config, jsonl=args.jsonl)
     code = finish(result, args.json, artifact_label="scenario results")
     if args.jsonl:
         print(f"\nsim-only event log written to {args.jsonl}")
@@ -532,7 +556,71 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument(
         "--json", metavar="FILE", help="write the scenario summary as JSON"
     )
+    fleet.add_argument(
+        "--scene",
+        default="two-room",
+        help="registered scene every shard stands up (see `mobility`)",
+    )
     fleet.set_defaults(fn=_cmd_fleet)
+
+    from .geometry.scenes import SCENE_NAMES
+
+    mobility = sub.add_parser(
+        "mobility",
+        help="mobility & churn scenario with speculative leg prefetch",
+    )
+    mobility.add_argument(
+        "--scene",
+        choices=SCENE_NAMES,
+        default="apartment",
+        help="registered scene to run in",
+    )
+    mobility.add_argument(
+        "--seed", type=int, default=0, help="motion/churn seed"
+    )
+    mobility.add_argument(
+        "--steps", type=int, default=60, help="daemon cycles to run"
+    )
+    mobility.add_argument(
+        "--dt", type=float, default=0.25, help="simulated seconds per cycle"
+    )
+    mobility.add_argument(
+        "--clients", type=int, default=1, help="mobile endpoints on the scene loops"
+    )
+    mobility.add_argument(
+        "--walkers", type=int, default=1, help="obstacle walkers on the scene loops"
+    )
+    mobility.add_argument(
+        "--churn-rate",
+        type=float,
+        default=0.0,
+        metavar="HZ",
+        help="Poisson guest arrival rate (0 = pure motion)",
+    )
+    mobility.add_argument(
+        "--no-prefetch",
+        action="store_true",
+        help="disable speculative leg pre-tracing",
+    )
+    mobility.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="channel-leg trace workers (results identical at any N)",
+    )
+    mobility.add_argument(
+        "--panel-size", type=int, default=8, help="elements per surface side"
+    )
+    mobility.add_argument(
+        "--jsonl",
+        metavar="FILE",
+        help="export the sim-only (wall-clock-free) event log",
+    )
+    mobility.add_argument(
+        "--json", metavar="FILE", help="write the scenario summary as JSON"
+    )
+    mobility.set_defaults(fn=_cmd_mobility)
 
     load = sub.add_parser(
         "load",

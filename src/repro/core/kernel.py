@@ -84,6 +84,71 @@ class SurfOS:
         self.daemon: Optional[SurfOSDaemon] = None
         self.pipeline = None
         self.dynamics = EnvironmentDynamics(env)
+        #: The Scene this system was built from (set by from_scene).
+        self.scene = None
+
+    @classmethod
+    def from_scene(
+        cls,
+        scene,
+        *,
+        frequency_hz: float = 28e9,
+        panel_size: int = 8,
+        ap_antennas: int = 4,
+        optimizer: Optional[Optimizer] = None,
+        grid_spacing_m: float = 1.0,
+        telemetry: Optional[Telemetry] = None,
+        fault_injector=None,
+        channel_workers: int = 0,
+        device_prefix: str = "",
+        boot: bool = True,
+    ) -> "SurfOS":
+        """Stand up a system on a registered scene (or a ``Scene``).
+
+        The scene supplies the environment, AP mount, surface sites,
+        and observation room; this builds the hardware on top of them.
+        ``device_prefix`` prefixes every device id (fleet shards pass
+        ``"{shard_id}-"``), and ``boot=False`` leaves the system
+        un-booted for callers that register extra hardware first.
+        """
+        from ..geometry.scenes import Scene, build_scene
+        from ..surfaces.catalog import GENERIC_PROGRAMMABLE_28
+
+        if not isinstance(scene, Scene):
+            scene = build_scene(scene)
+        system = cls(
+            scene.env,
+            frequency_hz=frequency_hz,
+            optimizer=optimizer,
+            grid_spacing_m=grid_spacing_m,
+            telemetry=telemetry,
+            fault_injector=fault_injector,
+            channel_workers=channel_workers,
+        )
+        system.scene = scene
+        system.add_access_point(
+            AccessPoint(
+                f"{device_prefix}ap",
+                np.asarray(scene.ap_position, dtype=float),
+                ap_antennas,
+                frequency_hz,
+                boresight=scene.ap_boresight,
+            )
+        )
+        for site in scene.panel_sites:
+            system.add_surface(
+                SurfacePanel(
+                    f"{device_prefix}{site.panel_id}",
+                    GENERIC_PROGRAMMABLE_28,
+                    panel_size,
+                    panel_size,
+                    np.asarray(site.center, dtype=float),
+                    np.asarray(site.normal, dtype=float),
+                )
+            )
+        if boot:
+            system.boot(observe_room=scene.observe_room)
+        return system
 
     # ------------------------------------------------------------------
     # hardware registration (pre-boot or live)

@@ -11,12 +11,24 @@
   the concurrent request pipeline (batched + coalesced).
 * :mod:`.fleet` — three zones behind one global broker: spill around a
   quarantined shard, roaming-client handoff, deterministic routing.
+* :mod:`.mobility` — continuous motion + churn scenario with
+  speculative channel-leg prefetch from exact ``peek(dt)`` predictions.
 
 Figures 1 and 3 of the paper are architecture diagrams; their
 "reproduction" is the system itself (see DESIGN.md).
 """
 
-from . import arrivals, degradation, fig2, fig4, fig5, fig6, fleet, table1
+from . import (
+    arrivals,
+    degradation,
+    fig2,
+    fig4,
+    fig5,
+    fig6,
+    fleet,
+    mobility,
+    table1,
+)
 from .scenario import ApartmentScenario, CARRIER_HZ, build_scenario
 
 __all__ = [
@@ -30,5 +42,6 @@ __all__ = [
     "fig5",
     "fig6",
     "fleet",
+    "mobility",
     "table1",
 ]

@@ -88,6 +88,7 @@ def build_fleet(
     queue_capacity: int = 64,
     parallelism: int = 1,
     backend: str = "thread",
+    scene: str = "two-room",
 ) -> FleetBroker:
     """A seeded N-shard fleet with reset id counters (determinism)."""
     reset_task_counter()
@@ -99,6 +100,7 @@ def build_fleet(
             seed=seed + i,
             panel_size=panel_size,
             queue_capacity=queue_capacity,
+            scene=scene,
         )
         for i in range(1, shards + 1)
     ]
@@ -239,6 +241,7 @@ def run(
     jsonl: Optional[str] = None,
     fleet: Optional[FleetBroker] = None,
     horizon_s: float = 60.0,
+    scene: str = "two-room",
 ) -> FleetResult:
     """The fleet scenario: seeded arrivals, mid-run quarantine, handoff."""
     owns_fleet = fleet is None
@@ -250,6 +253,7 @@ def run(
             panel_size=panel_size,
             parallelism=parallelism,
             backend=backend,
+            scene=scene,
         )
     demands = _demands(requests, shards, seed)
     rng = np.random.default_rng(seed + 17)

@@ -25,14 +25,12 @@ from typing import Callable, Optional
 import numpy as np
 
 from ..core.kernel import SurfOS
-from ..geometry.floorplans import apartment_sites, two_room_apartment
-from ..hwmgr.devices import AccessPoint, ClientDevice
+from ..geometry.scenes import build_scene
+from ..hwmgr.devices import ClientDevice
 from ..hwmgr.health import HealthStatus
 from ..orchestrator.optimizers import RandomSearch
 from ..pipeline import EvaluationConfig, PipelineConfig, RequestPipeline
 from ..runtime.clock import SimClock
-from ..surfaces.catalog import GENERIC_PROGRAMMABLE_28
-from ..surfaces.panel import SurfacePanel
 from ..telemetry import Telemetry
 
 #: Carrier used by the default shard builder (28 GHz, the repo default).
@@ -58,8 +56,10 @@ class ShardSpec:
             the effective window per shard to spread joint solves.
         builder: optional override building the shard's booted
             :class:`~repro.core.kernel.SurfOS`; called as
-            ``builder(spec, telemetry)``.  Defaults to a two-room
-            apartment with one access point and one programmable panel.
+            ``builder(spec, telemetry)``.  Defaults to building the
+            registered scene named by ``scene``.
+        scene: registered scene the default builder stands up (and the
+            spawn region ``ensure_client`` draws from).
     """
 
     shard_id: str
@@ -69,6 +69,7 @@ class ShardSpec:
     queue_capacity: int = 64
     coalesce_window_s: float = 0.1
     builder: Optional[Callable[["ShardSpec", Telemetry], SurfOS]] = None
+    scene: str = "two-room"
 
 
 @dataclass(frozen=True)
@@ -107,38 +108,18 @@ class ShardLoad:
 
 
 def default_shard_system(spec: ShardSpec, telemetry: Telemetry) -> SurfOS:
-    """The default shard: a two-room apartment with one panel and AP."""
-    env = two_room_apartment()
-    sites = apartment_sites()
-    system = SurfOS(
-        env,
+    """The default shard: the spec's registered scene, one stack."""
+    return SurfOS.from_scene(
+        spec.scene,
         frequency_hz=_CARRIER_HZ,
+        panel_size=spec.panel_size,
         optimizer=RandomSearch(
             max_iterations=_SOLVE_ITERATIONS, seed=spec.seed
         ),
         grid_spacing_m=1.0,
         telemetry=telemetry,
+        device_prefix=f"{spec.shard_id}-",
     )
-    system.add_access_point(
-        AccessPoint(
-            f"{spec.shard_id}-ap",
-            sites.ap_position,
-            4,
-            _CARRIER_HZ,
-            boresight=(1.0, 0.3, 0.0),
-        )
-    )
-    system.add_surface(
-        SurfacePanel(
-            f"{spec.shard_id}-rs",
-            GENERIC_PROGRAMMABLE_28,
-            spec.panel_size,
-            spec.panel_size,
-            sites.single_surface_center,
-            sites.single_surface_normal,
-        )
-    )
-    return system.boot(observe_room="bedroom")
 
 
 class EnvironmentShard:
@@ -241,11 +222,12 @@ class EnvironmentShard:
             pass
         digest = zlib.crc32(client_id.encode("utf-8"))
         rng = np.random.default_rng(self.spec.seed * 7919 + digest)
-        position = (
-            float(rng.uniform(5.2, 8.0)),
-            float(rng.uniform(0.8, 3.4)),
-            1.0,
-        )
+        scene = getattr(self.system, "scene", None)
+        if scene is None:
+            # Custom builders without a Scene keep the legacy two-room
+            # spawn region (identical draws, bit for bit).
+            scene = build_scene(self.spec.scene)
+        position = tuple(map(float, scene.spawn_position(rng)))
         self.system.add_client(ClientDevice(client_id, position))
 
     def close(self) -> None:

@@ -1,0 +1,308 @@
+"""Named, registered scene builders (the ``SceneBuilder`` API).
+
+Every scenario used to hand-roll its environment — the fleet shard
+builder constructed the two-room apartment inline, experiments copied
+site coordinates around.  A :class:`Scene` bundles everything a
+scenario needs to stand up a system — the environment, the AP mount,
+the surface sites, the observation room, client spawn region, and
+canonical walking routes through the doorways — and the registry
+constructs any of them by name (``build_scene("office")``), which is
+what the ``--scene`` CLI flags plug into.
+
+Scenes:
+
+* ``two-room`` — the unfurnished-knobs-default furnished apartment
+  with the single programmable surface (the paper's Figs. 2/5 setup;
+  the fleet shard default).
+* ``apartment`` — the same apartment with programmable surfaces on
+  both the bedroom-north and bedroom-east walls (the mobility pack's
+  richer single-floor scene).
+* ``office`` — a new two-storey office: per-floor concrete partitions
+  with doorways, a concrete inter-floor slab with a stairwell gap, a
+  surface per floor on the same east-wall xy (different z — the
+  digest-uniqueness case), rooms with ``z_floor`` set per storey.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from ..core.errors import SurfOSError
+from .environment import Environment
+from .floorplans import apartment_sites, two_room_apartment
+from .materials import BRICK, CONCRETE
+from .shapes import Box, Room
+from .vec import vec3
+
+__all__ = [
+    "PanelSite",
+    "Scene",
+    "SceneBuilder",
+    "register_scene",
+    "build_scene",
+    "scene_names",
+    "SCENE_NAMES",
+]
+
+
+@dataclass(frozen=True)
+class PanelSite:
+    """One surface mounting site: id suffix, center, inward normal."""
+
+    panel_id: str
+    center: Tuple[float, float, float]
+    normal: Tuple[float, float, float]
+
+
+@dataclass
+class Scene:
+    """Everything a scenario needs to stand up a system.
+
+    Attributes:
+        name: registry name.
+        env: the built environment (fresh per :func:`build_scene` call).
+        ap_position / ap_boresight: access-point mount.
+        panel_sites: surface mounting sites (ids are suffixes; system
+            builders may prefix them, e.g. with a shard id).
+        observe_room: room the daemon monitors.
+        spawn_lo / spawn_hi: axis-aligned box client spawn positions
+            are drawn from (z is the device height).
+        walker_loops: canonical obstacle-walker waypoint loops
+            (floor-level; z = storey elevation).
+        client_loops: canonical mobile-endpoint loops at device height,
+            each crossing at least one doorway.
+    """
+
+    name: str
+    env: Environment
+    ap_position: Tuple[float, float, float]
+    ap_boresight: Tuple[float, float, float]
+    panel_sites: Tuple[PanelSite, ...]
+    observe_room: str
+    spawn_lo: Tuple[float, float, float]
+    spawn_hi: Tuple[float, float, float]
+    walker_loops: Tuple[Tuple[Tuple[float, ...], ...], ...] = field(
+        default_factory=tuple
+    )
+    client_loops: Tuple[Tuple[Tuple[float, ...], ...], ...] = field(
+        default_factory=tuple
+    )
+
+    def spawn_position(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw a seeded spawn position inside the spawn box.
+
+        Draw order (x, then y) is part of the determinism contract —
+        fleet client placement has always drawn this way.
+        """
+        x = rng.uniform(self.spawn_lo[0], self.spawn_hi[0])
+        y = rng.uniform(self.spawn_lo[1], self.spawn_hi[1])
+        return vec3(x, y, self.spawn_lo[2])
+
+
+#: A registered scene builder: knobs → a fresh :class:`Scene`.
+SceneBuilder = Callable[..., Scene]
+
+_BUILDERS: Dict[str, SceneBuilder] = {}
+
+
+def register_scene(name: str) -> Callable[[SceneBuilder], SceneBuilder]:
+    """Decorator registering a :class:`SceneBuilder` under ``name``."""
+
+    def deco(builder: SceneBuilder) -> SceneBuilder:
+        if name in _BUILDERS:
+            raise SurfOSError(f"scene {name!r} already registered")
+        _BUILDERS[name] = builder
+        return builder
+
+    return deco
+
+
+def build_scene(name: str, **knobs) -> Scene:
+    """Construct a registered scene by name."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise SurfOSError(
+            f"unknown scene {name!r} (choose from {scene_names()})"
+        ) from None
+    return builder(**knobs)
+
+
+def scene_names() -> Tuple[str, ...]:
+    """All registered scene names, sorted."""
+    return tuple(sorted(_BUILDERS))
+
+
+@register_scene("two-room")
+def _two_room_scene() -> Scene:
+    """The fleet-shard default: apartment + the single-surface site."""
+    sites = apartment_sites()
+    return Scene(
+        name="two-room",
+        env=two_room_apartment(),
+        ap_position=tuple(map(float, sites.ap_position)),
+        ap_boresight=(1.0, 0.3, 0.0),
+        panel_sites=(
+            PanelSite(
+                "rs",
+                tuple(map(float, sites.single_surface_center)),
+                tuple(map(float, sites.single_surface_normal)),
+            ),
+        ),
+        observe_room="bedroom",
+        spawn_lo=(5.2, 0.8, 1.0),
+        spawn_hi=(8.0, 3.4, 1.0),
+        walker_loops=(
+            ((6.2, 1.0), (7.8, 1.0), (7.8, 3.0), (6.2, 3.0)),
+        ),
+        client_loops=(
+            (
+                (6.8, 1.6, 1.0),
+                (6.0, 3.4, 1.0),
+                (4.0, 3.5, 1.0),
+                (2.5, 2.0, 1.0),
+                (4.0, 3.5, 1.0),
+                (6.0, 3.4, 1.0),
+            ),
+        ),
+    )
+
+
+@register_scene("apartment")
+def _apartment_scene() -> Scene:
+    """The furnished apartment with surfaces on two bedroom walls."""
+    sites = apartment_sites()
+    base = _two_room_scene()
+    return Scene(
+        name="apartment",
+        env=two_room_apartment(),
+        ap_position=base.ap_position,
+        ap_boresight=base.ap_boresight,
+        panel_sites=(
+            PanelSite(
+                "rs-north",
+                tuple(map(float, sites.single_surface_center)),
+                tuple(map(float, sites.single_surface_normal)),
+            ),
+            PanelSite(
+                "rs-east",
+                tuple(map(float, sites.programmable_center)),
+                tuple(map(float, sites.programmable_normal)),
+            ),
+        ),
+        observe_room="bedroom",
+        spawn_lo=base.spawn_lo,
+        spawn_hi=base.spawn_hi,
+        # The obstacle walker works the living room (its dirty regions
+        # cross the AP-side corridors, not the bedroom surface→points
+        # corridors the prefetcher warms); clients cross the doorway.
+        walker_loops=(((1.5, 1.2), (4.2, 3.4), (3.0, 0.8), (1.2, 2.6)),),
+        client_loops=base.client_loops,
+    )
+
+
+#: Office footprint (m) and storey geometry.
+_OFFICE_W, _OFFICE_D = 10.0, 6.0
+_FLOOR_H = 3.0
+_SLAB_T = 0.2
+_F2_Z = _FLOOR_H + _SLAB_T  # second-storey floor elevation
+
+
+@register_scene("office")
+def _office_scene() -> Scene:
+    """A two-storey office with a stairwell gap in the slab."""
+    w, d = _OFFICE_W, _OFFICE_D
+    env = Environment(name="office", ceiling_height=_F2_Z + _FLOOR_H)
+    for z_lo, z_hi, tag in ((0.0, _FLOOR_H, "f1"), (_F2_Z, _F2_Z + _FLOOR_H, "f2")):
+        env.add_wall_2d(
+            (0, 0), (w, 0), BRICK, name=f"{tag}-south", z_min=z_lo, z_max=z_hi
+        )
+        env.add_wall_2d(
+            (w, 0), (w, d), BRICK, name=f"{tag}-east", z_min=z_lo, z_max=z_hi
+        )
+        env.add_wall_2d(
+            (w, d), (0, d), BRICK, name=f"{tag}-north", z_min=z_lo, z_max=z_hi
+        )
+        env.add_wall_2d(
+            (0, d), (0, 0), BRICK, name=f"{tag}-west", z_min=z_lo, z_max=z_hi
+        )
+        # Concrete partition at x=5 with a doorway gap y in [2.4, 3.3].
+        env.add_wall_2d(
+            (5.0, 0),
+            (5.0, 2.4),
+            CONCRETE,
+            name=f"{tag}-partition-south",
+            z_min=z_lo,
+            z_max=z_hi,
+        )
+        env.add_wall_2d(
+            (5.0, 3.3),
+            (5.0, d),
+            CONCRETE,
+            name=f"{tag}-partition-north",
+            z_min=z_lo,
+            z_max=z_hi,
+        )
+    # Inter-floor concrete slab, leaving a stairwell gap in the
+    # north-east corner (x in [8.4, 10], y in [4.4, 6]).
+    env.add_box(
+        Box(
+            vec3(0.0, 0.0, _FLOOR_H),
+            vec3(8.4, d, _F2_Z),
+            CONCRETE,
+            name="slab-main",
+        )
+    )
+    env.add_box(
+        Box(
+            vec3(8.4, 0.0, _FLOOR_H),
+            vec3(w, 4.4, _F2_Z),
+            CONCRETE,
+            name="slab-east",
+        )
+    )
+    env.add_room(Room("f1-open", 0.0, 5.0, 0.0, d))
+    env.add_room(Room("f1-lab", 5.0, w, 0.0, d))
+    env.add_room(Room("f2-open", 0.0, 5.0, 0.0, d, z_floor=_F2_Z))
+    env.add_room(Room("f2-lab", 5.0, w, 0.0, d, z_floor=_F2_Z))
+    return Scene(
+        name="office",
+        env=env,
+        ap_position=(0.4, 1.0, 2.2),
+        ap_boresight=(1.0, 0.2, 0.1),
+        panel_sites=(
+            # Same east-wall xy on both storeys — only z distinguishes
+            # their digests (pinned by the scenes test).
+            PanelSite("rs-f1", (9.98, 2.8, 1.8), (-1.0, 0.0, 0.0)),
+            PanelSite("rs-f2", (9.98, 2.8, _F2_Z + 1.8), (-1.0, 0.0, 0.0)),
+        ),
+        observe_room="f1-lab",
+        spawn_lo=(5.4, 0.8, 1.0),
+        spawn_hi=(9.4, 3.6, 1.0),
+        walker_loops=(
+            ((1.2, 1.2), (4.0, 2.8), (5.6, 2.85), (8.0, 1.4)),
+            (
+                (1.2, 1.2, _F2_Z),
+                (4.0, 2.8, _F2_Z),
+                (5.6, 2.85, _F2_Z),
+                (8.0, 1.4, _F2_Z),
+            ),
+        ),
+        client_loops=(
+            (
+                (8.6, 1.4, 1.0),
+                (6.0, 2.9, 1.0),
+                (4.2, 2.9, 1.0),
+                (2.0, 1.6, 1.0),
+                (4.2, 2.9, 1.0),
+                (6.0, 2.9, 1.0),
+            ),
+        ),
+    )
+
+
+#: Registered scene names at import time (CLI choices).
+SCENE_NAMES = scene_names()

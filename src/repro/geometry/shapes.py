@@ -193,6 +193,9 @@ class Room:
     Attributes:
         name: room label, e.g. ``"bedroom"``.
         x_min, x_max, y_min, y_max: footprint bounds (m).
+        z_floor: floor elevation (m) — 0 for ground-floor rooms;
+            upper storeys of a multi-floor scene set it so grids and
+            heights resolve relative to *their* floor.
     """
 
     name: str
@@ -200,6 +203,7 @@ class Room:
     x_max: float
     y_min: float
     y_max: float
+    z_floor: float = 0.0
 
     def __post_init__(self) -> None:
         if self.x_max <= self.x_min or self.y_max <= self.y_min:
@@ -229,7 +233,9 @@ class Room:
         """Regular grid of sample points inside the room at height ``z``.
 
         Returns an ``(n, 3)`` array.  ``margin`` keeps points off the
-        walls, where the field model is least meaningful.
+        walls, where the field model is least meaningful.  ``z`` is
+        measured above the room's own floor (``z_floor``), so callers
+        asking for "device height" get it on every storey.
         """
         if spacing <= 0:
             raise ValueError("grid spacing must be positive")
@@ -238,5 +244,6 @@ class Room:
         if xs.size == 0 or ys.size == 0:
             raise ValueError(f"room {self.name!r} too small for margin {margin}")
         gx, gy = np.meshgrid(xs, ys)
-        pts = np.stack([gx.ravel(), gy.ravel(), np.full(gx.size, float(z))], axis=1)
+        height = self.z_floor + float(z)
+        pts = np.stack([gx.ravel(), gy.ravel(), np.full(gx.size, height)], axis=1)
         return pts

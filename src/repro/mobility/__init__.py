@@ -1,0 +1,32 @@
+"""Seeded mobility models and churn schedules for motion scenarios.
+
+``repro.mobility`` is the motion layer the runtime and the mobility
+experiment share: pluggable :class:`MobilityModel` implementations
+(waypoint walking with per-segment speeds and pauses, seeded random
+walks, JSONL trace replay) plus deterministic Poisson arrival/departure
+churn.  ``MobilityModel.peek(dt)`` is the speculation primitive the
+channel leg prefetcher builds on — see ``DESIGN.md``.
+"""
+
+from .churn import ChurnEvent, churn_schedule
+from .models import (
+    MobilityModel,
+    MobilityModelBase,
+    RandomWalk,
+    TraceReplay,
+    WaypointWalker,
+    read_mobility_trace,
+    write_mobility_trace,
+)
+
+__all__ = [
+    "ChurnEvent",
+    "churn_schedule",
+    "MobilityModel",
+    "MobilityModelBase",
+    "RandomWalk",
+    "TraceReplay",
+    "WaypointWalker",
+    "read_mobility_trace",
+    "write_mobility_trace",
+]

@@ -1,0 +1,78 @@
+"""Seeded Poisson client arrival/departure churn schedules.
+
+Churn is precomputed into an eager, deterministic event list so a
+scenario can register every event on the :class:`~repro.runtime.clock`
+before the run starts — the same seed always yields the identical
+join/leave sequence, which the byte-identical JSONL gates depend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..core.errors import ServiceError
+
+__all__ = ["ChurnEvent", "churn_schedule"]
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One client joining or leaving the environment."""
+
+    at: float
+    kind: str  # "arrive" | "depart"
+    client_id: str
+
+
+def churn_schedule(
+    rate_hz: float,
+    horizon_s: float,
+    seed: int = 0,
+    lifetime_s: float = 20.0,
+    max_live: int = 8,
+    prefix: str = "churn",
+) -> List[ChurnEvent]:
+    """Poisson arrivals with exponential lifetimes, capped at ``max_live``.
+
+    Arrivals past the cap are dropped (an admission-controlled lobby),
+    and departures past the horizon are clipped to it so every joined
+    client also leaves inside the run.  Returns events sorted by time;
+    at equal times departures sort before arrivals so the live count
+    never transiently exceeds the cap.
+    """
+    if rate_hz < 0:
+        raise ServiceError("churn rate must be non-negative")
+    if horizon_s <= 0:
+        raise ServiceError("churn horizon must be positive")
+    if lifetime_s <= 0:
+        raise ServiceError("churn lifetime must be positive")
+    if max_live < 1:
+        raise ServiceError("max_live must be at least 1")
+    events: List[ChurnEvent] = []
+    if rate_hz == 0:
+        return events
+    rng = np.random.default_rng(seed)
+    now = 0.0
+    index = 0
+    departures: List[float] = []
+    while True:
+        now += float(rng.exponential(1.0 / rate_hz))
+        if now >= horizon_s:
+            break
+        lifetime = float(rng.exponential(lifetime_s))
+        departures = [d for d in departures if d > now]
+        if len(departures) >= max_live:
+            continue
+        leave_at = min(now + lifetime, horizon_s)
+        client_id = f"{prefix}-{index}"
+        index += 1
+        events.append(ChurnEvent(at=now, kind="arrive", client_id=client_id))
+        events.append(
+            ChurnEvent(at=leave_at, kind="depart", client_id=client_id)
+        )
+        departures.append(leave_at)
+    events.sort(key=lambda e: (e.at, 0 if e.kind == "depart" else 1, e.client_id))
+    return events

@@ -1,0 +1,110 @@
+"""Mobility scenario: determinism, prefetch identity, churn, gating."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import mobility
+
+FAST = dict(steps=8, panel_size=6, solve_iterations=6)
+
+
+def _run(tmp_path=None, name="run.jsonl", **kw):
+    config = mobility.MobilityConfig(**{**FAST, **kw})
+    jsonl = str(tmp_path / name) if tmp_path is not None else None
+    return mobility.run(config, jsonl=jsonl), jsonl
+
+
+def test_same_seed_byte_identical_jsonl(tmp_path):
+    _, a = _run(tmp_path, "a.jsonl")
+    _, b = _run(tmp_path, "b.jsonl")
+    assert open(a, "rb").read() == open(b, "rb").read()
+
+
+def test_worker_count_does_not_change_sim_output(tmp_path):
+    serial, a = _run(tmp_path, "w1.jsonl", channel_workers=1)
+    pooled, b = _run(tmp_path, "w4.jsonl", channel_workers=4)
+    assert serial.snr_digest == pooled.snr_digest
+    assert open(a, "rb").read() == open(b, "rb").read()
+
+
+def test_prefetch_only_warms_the_cache():
+    on, _ = _run()
+    off, _ = _run(prefetch=False)
+    assert on.snr_digest == off.snr_digest
+    diff = float(
+        np.max(np.abs(np.asarray(on.snr_trace) - np.asarray(off.snr_trace)))
+    )
+    assert diff == 0.0
+    # But the reaction path traced fewer legs inline.
+    assert on.legs_retraced < off.legs_retraced
+    assert on.legs_prefetched > 0 and off.legs_prefetched == 0
+
+
+def test_pure_motion_never_full_purges():
+    """Motion attribution regression pin: bounded dirty regions only."""
+    result, _ = _run(walkers=2)
+    assert result.leg_cache_full_purges == 0
+    assert result.reactions > 0
+    assert result.reoptimize_failures == 0
+
+
+def test_gate_failures_empty_on_defaults():
+    result, _ = _run()
+    assert result.gate_failures() == []
+    assert result.prefetch_hit_rate >= 0.5
+
+
+def test_churn_arrivals_and_departures_run():
+    result, _ = _run(
+        steps=16, churn_rate_hz=2.0, churn_lifetime_s=1.5, churn_max_live=2
+    )
+    assert result.churn_arrivals > 0
+    assert result.churn_departures > 0
+    assert result.reoptimize_failures == 0
+    # Churn runs never gate on hit rate (departures purge warmed legs).
+    assert result.gate_failures() == []
+
+
+def test_churn_with_tiny_leg_cache_evicts_under_pressure():
+    """LRU eviction at capacity while clients churn stays correct."""
+    result, _ = _run(
+        steps=16,
+        churn_rate_hz=2.0,
+        churn_lifetime_s=1.5,
+        churn_max_live=2,
+        leg_cache_size=4,
+    )
+    assert result.reactions > 0
+    assert result.reoptimize_failures == 0
+    # With 4 slots and several point-dependent legs per plan, warmed
+    # legs get evicted before use.
+    assert result.prefetch_wasted > 0
+
+
+def test_office_scene_runs():
+    result, _ = _run(scene="office", walkers=1)
+    assert result.reactions > 0
+    assert result.gate_failures() == []
+
+
+def test_unknown_scene_is_rejected():
+    from repro.core.errors import SurfOSError
+
+    with pytest.raises(SurfOSError, match="unknown scene"):
+        mobility.run(mobility.MobilityConfig(scene="penthouse", **FAST))
+
+
+def test_summary_shape():
+    result, _ = _run()
+    summary = result.summary()
+    for key in (
+        "reactions",
+        "reaction_p50_s",
+        "prefetch_hit_rate",
+        "legs_retraced",
+        "snr_digest",
+        "leg_cache_full_purges",
+    ):
+        assert key in summary
+    assert "snr_trace" not in summary
+    assert "wall_reaction_s" not in summary

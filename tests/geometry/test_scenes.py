@@ -1,0 +1,112 @@
+"""SceneBuilder registry and the shipped scenes."""
+
+import numpy as np
+import pytest
+
+from repro.channel.simulator import _panel_digest
+from repro.core.errors import SurfOSError
+from repro.geometry import SCENE_NAMES, build_scene, register_scene, scene_names
+from repro.geometry.floorplans import apartment_sites
+from repro.surfaces import GENERIC_PROGRAMMABLE_28, SurfacePanel
+
+
+def test_registry_lists_shipped_scenes():
+    assert set(SCENE_NAMES) >= {"two-room", "apartment", "office"}
+    assert scene_names() == tuple(sorted(scene_names()))
+
+
+def test_unknown_scene_rejected():
+    with pytest.raises(SurfOSError, match="unknown scene"):
+        build_scene("penthouse")
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(SurfOSError, match="already registered"):
+
+        @register_scene("two-room")
+        def clash():  # pragma: no cover - never called
+            raise AssertionError
+
+
+def test_builds_are_fresh_instances():
+    a = build_scene("apartment")
+    b = build_scene("apartment")
+    assert a.env is not b.env
+    a.env.add_dynamic_box  # smoke: real environment objects
+
+
+def test_two_room_matches_legacy_fleet_deployment():
+    """The fleet default scene pins the historical shard geometry."""
+    scene = build_scene("two-room")
+    sites = apartment_sites()
+    assert scene.ap_position == tuple(map(float, sites.ap_position))
+    assert len(scene.panel_sites) == 1
+    assert scene.panel_sites[0].panel_id == "rs"
+    assert scene.panel_sites[0].center == tuple(
+        map(float, sites.single_surface_center)
+    )
+    assert scene.observe_room == "bedroom"
+    assert scene.spawn_lo == (5.2, 0.8, 1.0)
+    assert scene.spawn_hi == (8.0, 3.4, 1.0)
+
+
+def test_spawn_position_is_seeded_and_inside_box():
+    scene = build_scene("two-room")
+    a = scene.spawn_position(np.random.default_rng(7))
+    b = scene.spawn_position(np.random.default_rng(7))
+    assert a.tobytes() == b.tobytes()
+    assert scene.spawn_lo[0] <= a[0] <= scene.spawn_hi[0]
+    assert scene.spawn_lo[1] <= a[1] <= scene.spawn_hi[1]
+    assert a[2] == scene.spawn_lo[2]
+
+
+def test_office_rooms_sit_on_their_storeys():
+    scene = build_scene("office")
+    env = scene.env
+    f1 = env.room("f1-lab").grid(1.0, z=1.0)
+    f2 = env.room("f2-lab").grid(1.0, z=1.0)
+    assert np.all(f1[:, 2] == 1.0)
+    assert np.all(f2[:, 2] == 3.2 + 1.0)  # z_floor + device height
+    # Same footprint, different storey.
+    assert f1.shape == f2.shape
+    assert np.array_equal(f1[:, :2], f2[:, :2])
+
+
+def test_office_walls_and_slab_are_per_storey():
+    env = build_scene("office").env
+    names = {w.name for w in env.walls}
+    assert {"f1-east", "f2-east", "f1-partition-south", "f2-partition-north"} <= names
+    boxes = {b.name for b in env.boxes}
+    assert {"slab-main", "slab-east"} <= boxes
+
+
+def test_office_panels_differ_only_in_z_and_digest_uniquely():
+    """Same east-wall xy on both storeys must yield distinct leg keys."""
+    scene = build_scene("office")
+    f1, f2 = scene.panel_sites
+    assert f1.center[:2] == f2.center[:2]
+    assert f1.center[2] != f2.center[2]
+    panels = [
+        SurfacePanel(
+            site.panel_id,
+            GENERIC_PROGRAMMABLE_28,
+            8,
+            8,
+            np.asarray(site.center),
+            np.asarray(site.normal),
+        )
+        for site in scene.panel_sites
+    ]
+    assert _panel_digest(panels[0]) != _panel_digest(panels[1])
+
+
+def test_client_loops_cross_doorways():
+    """Every shipped scene's client loops pass through a partition gap."""
+    for name in ("two-room", "apartment", "office"):
+        scene = build_scene(name)
+        assert scene.walker_loops and scene.client_loops
+        for loop in scene.client_loops:
+            xs = [p[0] for p in loop]
+            # The partition sits at x=5 in both floorplans; a doorway
+            # crossing means the loop spans it.
+            assert min(xs) < 5.0 < max(xs)

@@ -1,0 +1,53 @@
+"""Churn schedules: seeded Poisson joins/leaves with a live-count cap."""
+
+import pytest
+
+from repro.core.errors import ServiceError
+from repro.mobility import churn_schedule
+
+
+def test_same_seed_same_schedule():
+    a = churn_schedule(0.5, horizon_s=60.0, seed=4)
+    b = churn_schedule(0.5, horizon_s=60.0, seed=4)
+    assert a == b
+    assert a != churn_schedule(0.5, horizon_s=60.0, seed=5)
+
+
+def test_zero_rate_is_empty():
+    assert churn_schedule(0.0, horizon_s=10.0) == []
+
+
+def test_every_arrival_departs_inside_horizon():
+    events = churn_schedule(1.0, horizon_s=30.0, seed=1, lifetime_s=50.0)
+    arrived = {e.client_id for e in events if e.kind == "arrive"}
+    departed = {e.client_id for e in events if e.kind == "depart"}
+    assert arrived and arrived == departed
+    assert all(0.0 <= e.at <= 30.0 for e in events)
+
+
+def test_live_count_never_exceeds_cap():
+    events = churn_schedule(
+        5.0, horizon_s=30.0, seed=2, lifetime_s=20.0, max_live=3
+    )
+    live = peak = 0
+    for event in events:  # sorted; departures first on ties
+        live += 1 if event.kind == "arrive" else -1
+        peak = max(peak, live)
+    assert peak == 3
+    assert live == 0
+
+
+def test_events_sorted_by_time():
+    events = churn_schedule(2.0, horizon_s=20.0, seed=9)
+    assert [e.at for e in events] == sorted(e.at for e in events)
+
+
+def test_validation():
+    with pytest.raises(ServiceError):
+        churn_schedule(-1.0, horizon_s=10.0)
+    with pytest.raises(ServiceError):
+        churn_schedule(1.0, horizon_s=0.0)
+    with pytest.raises(ServiceError):
+        churn_schedule(1.0, horizon_s=10.0, lifetime_s=0.0)
+    with pytest.raises(ServiceError):
+        churn_schedule(1.0, horizon_s=10.0, max_live=0)

@@ -1,0 +1,144 @@
+"""Mobility models: waypoint walking, random walks, trace replay."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ServiceError
+from repro.mobility import (
+    MobilityModel,
+    RandomWalk,
+    TraceReplay,
+    WaypointWalker,
+    read_mobility_trace,
+    write_mobility_trace,
+)
+
+SQUARE = [(0.0, 0.0), (2.0, 0.0), (2.0, 2.0), (0.0, 2.0)]
+
+
+def test_models_satisfy_protocol():
+    walker = WaypointWalker(SQUARE)
+    walk = RandomWalk((1, 1, 0), (0, 0, 0), (5, 5, 0))
+    assert isinstance(walker, MobilityModel)
+    assert isinstance(walk, MobilityModel)
+
+
+def test_waypoint_walker_walks_the_loop():
+    walker = WaypointWalker(SQUARE, speed_mps=1.0)
+    assert np.allclose(walker.position(), [0, 0, 0])
+    assert np.allclose(walker.step(1.0), [1, 0, 0])
+    assert np.allclose(walker.step(2.0), [2, 1, 0])
+    # Perimeter is 8 m at 1 m/s: a full lap returns to the start.
+    walker.step(5.0)
+    assert np.allclose(walker.position(), [0, 0, 0])
+
+
+def test_waypoint_walker_one_way_stops_at_end():
+    walker = WaypointWalker([(0, 0), (3, 0)], speed_mps=1.0, loop=False)
+    walker.step(10.0)
+    assert np.allclose(walker.position(), [3, 0, 0])
+    # Further steps dwell at the terminus.
+    assert np.allclose(walker.step(1.0), [3, 0, 0])
+
+
+def test_waypoint_walker_per_segment_speeds():
+    walker = WaypointWalker(
+        [(0, 0), (2, 0), (2, 2)], speeds=[2.0, 1.0], loop=False
+    )
+    assert np.allclose(walker.step(1.0), [2, 0, 0])  # fast leg done
+    assert np.allclose(walker.step(1.0), [2, 1, 0])  # slow leg half-way
+
+
+def test_waypoint_walker_pauses_on_arrival():
+    walker = WaypointWalker([(0, 0), (1, 0)], speed_mps=1.0, pauses=2.0)
+    walker.step(1.0)  # arrive at (1, 0); pause starts
+    assert np.allclose(walker.position(), [1, 0, 0])
+    assert np.allclose(walker.step(1.0), [1, 0, 0])  # still dwelling
+    assert np.allclose(walker.step(1.5), [0.5, 0, 0])  # pause over, moving
+
+
+def test_waypoint_walker_3d_waypoints_keep_height():
+    walker = WaypointWalker([(0, 0, 3.2), (2, 0, 3.2)], speed_mps=1.0)
+    assert walker.step(1.0)[2] == 3.2
+
+
+def test_waypoint_walker_validation():
+    with pytest.raises(ValueError, match="two waypoints"):
+        WaypointWalker([(0, 0)])
+    with pytest.raises(ValueError, match="speed must be positive"):
+        WaypointWalker(SQUARE, speed_mps=0.0)
+    with pytest.raises(ValueError, match="per-segment speeds"):
+        WaypointWalker(SQUARE, speeds=[1.0, 1.0])
+    with pytest.raises(ValueError, match="per-waypoint pauses"):
+        WaypointWalker(SQUARE, pauses=[1.0])
+    with pytest.raises(ValueError, match="dt must be positive"):
+        WaypointWalker(SQUARE).step(0.0)
+
+
+def test_peek_is_bit_identical_to_step():
+    walker = WaypointWalker(SQUARE, speed_mps=0.7, pauses=0.3)
+    for _ in range(50):
+        predicted = walker.peek(0.25)
+        actual = walker.step(0.25)
+        assert predicted.tobytes() == actual.tobytes()
+
+
+def test_random_walk_peek_copies_rng_state():
+    walk = RandomWalk((1, 1, 1), (0, 0, 0), (4, 4, 0), seed=7)
+    for _ in range(100):
+        predicted = walk.peek(0.5)
+        actual = walk.step(0.5)
+        assert predicted.tobytes() == actual.tobytes()
+
+
+def test_random_walk_stays_in_bounds_and_is_seeded():
+    a = RandomWalk((1, 1, 1), (0, 0, 0), (3, 2, 0), seed=3)
+    b = RandomWalk((1, 1, 1), (0, 0, 0), (3, 2, 0), seed=3)
+    for _ in range(200):
+        pa, pb = a.step(0.5), b.step(0.5)
+        assert pa.tobytes() == pb.tobytes()
+        assert 0.0 <= pa[0] <= 3.0 and 0.0 <= pa[1] <= 2.0
+        assert pa[2] == 1.0  # height never changes
+
+
+def test_random_walk_validation():
+    with pytest.raises(ValueError, match="speed must be positive"):
+        RandomWalk((0, 0, 0), (0, 0, 0), (1, 1, 0), speed_mps=-1)
+    with pytest.raises(ValueError, match="positive extent"):
+        RandomWalk((0, 0, 0), (1, 1, 0), (1, 1, 0))
+
+
+def test_trace_replay_round_trip(tmp_path):
+    path = str(tmp_path / "walk.jsonl")
+    samples = [(0.0, (0, 0, 1)), (1.0, (2, 0, 1)), (3.0, (2, 4, 1))]
+    assert write_mobility_trace(path, samples) == 3
+    assert [t for t, _ in read_mobility_trace(path)] == [0.0, 1.0, 3.0]
+    replay = TraceReplay(path)
+    assert np.allclose(replay.position(), [0, 0, 1])
+    assert np.allclose(replay.step(0.5), [1, 0, 1])  # interpolated
+    assert np.allclose(replay.step(1.5), [2, 2, 1])
+    assert np.allclose(replay.step(10.0), [2, 4, 1])  # holds the end
+
+
+def test_trace_replay_peek_matches_step(tmp_path):
+    path = str(tmp_path / "walk.jsonl")
+    write_mobility_trace(path, [(0.0, (0, 0, 0)), (2.0, (1, 1, 0))])
+    replay = TraceReplay(path)
+    assert replay.peek(0.7).tobytes() == replay.step(0.7).tobytes()
+
+
+def test_trace_replay_validation(tmp_path):
+    with pytest.raises(ServiceError, match="not found"):
+        TraceReplay(str(tmp_path / "missing.jsonl"))
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"t": 1.0, "pos": [0, 0, 0]}\n{"t": 0.5, "pos": [1, 1, 1]}\n')
+    with pytest.raises(ServiceError, match="non-decreasing"):
+        TraceReplay(str(bad))
+    garbled = tmp_path / "garbled.jsonl"
+    garbled.write_text('{"pos": [0, 0, 0]}\n')
+    with pytest.raises(ServiceError, match="bad trace line"):
+        TraceReplay(str(garbled))
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("\n")
+    with pytest.raises(ServiceError, match="empty"):
+        TraceReplay(str(empty))

@@ -66,3 +66,46 @@ def test_parser_requires_command():
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_mobility_runs_and_writes_artifacts(tmp_path, capsys):
+    jsonl = str(tmp_path / "mob.jsonl")
+    json_path = str(tmp_path / "mob.json")
+    assert (
+        main(
+            [
+                "mobility",
+                "--steps",
+                "5",
+                "--panel-size",
+                "6",
+                "--jsonl",
+                jsonl,
+                "--json",
+                json_path,
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "prefetch hit rate" in out
+    assert "scenario results written to" in out
+    assert "sim-only event log written to" in out
+
+    import json as _json
+
+    summary = _json.loads(open(json_path).read())
+    assert summary["reactions"] > 0
+    assert summary["leg_cache_full_purges"] == 0
+    assert open(jsonl).read().count("\n") > 0
+
+
+def test_mobility_rejects_unknown_scene():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["mobility", "--scene", "penthouse"])
+
+
+def test_fleet_scene_flag():
+    args = build_parser().parse_args(["fleet", "--scene", "office"])
+    assert args.scene == "office"
+    assert build_parser().parse_args(["fleet"]).scene == "two-room"
