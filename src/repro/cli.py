@@ -17,6 +17,8 @@ Usage::
     python -m repro.cli fleet --shards 3 --requests 12 --seed 7
     python -m repro.cli load --model poisson --rate 20 --requests 100000
     python -m repro.cli load --model flash-crowd --slo "interactive=0.2"
+    python -m repro.cli load --sweep --requests 2000 --json /tmp/sweep.json
+    python -m repro.cli mobility --adaptive-budget --churn-rate 0.4
     python -m repro.cli info
 
 Every experiment prints the same rendering its benchmark asserts on.
@@ -37,7 +39,11 @@ or a recorded JSONL trace) through the modeled control plane and gates
 on an ``--slo`` policy (per-class p99 bounds + satisfaction floor);
 ``pipeline``, ``fleet``, ``faults``, and ``load`` all share one
 result contract — render, optional ``--json`` artifact, ``FAIL:``
-lines on stderr, nonzero exit on any gate violation.
+lines on stderr, nonzero exit on any gate violation.  ``load --sweep``
+instead ladders the offered rate and records the latency-vs-rate
+saturation knee (observational — never gated); ``mobility
+--adaptive-budget`` turns on drift-aware adaptive solve budgets, which
+keep same-seed runs byte-identical while skipping converged solves.
 """
 
 from __future__ import annotations
@@ -159,7 +165,12 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .core.errors import SurfOSError
-    from .telemetry import load_jsonl, render_profile, render_report
+    from .telemetry import (
+        load_jsonl,
+        render_profile,
+        render_report,
+        render_solver_stats,
+    )
     from .telemetry.report import _aggregate_spans
 
     if args.report:
@@ -167,9 +178,16 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             records = load_jsonl(args.report)
             print(render_report(records))
             if args.profile is not None:
-                spans, _ = _aggregate_spans(records)
+                spans, snapshot = _aggregate_spans(records)
                 print()
                 print(render_profile(spans, top=args.profile))
+                solver_block = render_solver_stats(
+                    (snapshot or {}).get("counters") or {},
+                    (snapshot or {}).get("gauges") or {},
+                )
+                if solver_block:
+                    print()
+                    print(solver_block)
         except SurfOSError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
@@ -186,17 +204,27 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     sites = apartment_sites()
     # With an evaluation backend bound, trace a population optimizer —
     # gradient descent never evaluates candidate batches, so Adam would
-    # leave the evaluator (and its telemetry) idle.
-    optimizer = (
-        RandomSearch(max_iterations=args.iterations, seed=0)
-        if args.eval_backend
-        else Adam(max_iterations=args.iterations)
-    )
+    # leave the evaluator (and its telemetry) idle.  Adaptive budgets
+    # also need a budget-capable population optimizer with early stop.
+    if args.eval_backend or args.adaptive_budget:
+        optimizer = RandomSearch(
+            max_iterations=args.iterations,
+            seed=0,
+            early_stop_eps=1e-3 if args.adaptive_budget else None,
+        )
+    else:
+        optimizer = Adam(max_iterations=args.iterations)
+    solve_budget = None
+    if args.adaptive_budget:
+        from .orchestrator import SolveBudgetConfig
+
+        solve_budget = SolveBudgetConfig(enabled=True)
     system = SurfOS(
         two_room_apartment(),
         frequency_hz=frequency,
         optimizer=optimizer,
         grid_spacing_m=1.0,
+        solve_budget=solve_budget,
     )
     system.add_access_point(
         AccessPoint("ap", sites.ap_position, 4, frequency, boresight=(1, 0.3, 0))
@@ -226,20 +254,32 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         system.orchestrator.optimizer.bind_evaluator(evaluator)
     try:
         result = system.reoptimize(rounds=args.rounds)
+        if args.adaptive_budget:
+            # A second pass hits the solution store warm: the drift
+            # probe and the budget clamp both show up in solver.*.
+            result = system.reoptimize(rounds=args.rounds)
     finally:
         if evaluator is not None:
             system.orchestrator.optimizer.unbind_evaluator()
             evaluator.close()
 
-    print("Traced one reoptimize() on the two-room apartment scenario.")
+    passes = "two reoptimize() passes" if args.adaptive_budget else (
+        "one reoptimize()"
+    )
+    print(f"Traced {passes} on the two-room apartment scenario.")
     print()
     for phase, seconds in result.timing.items():
         print(f"  {phase:>18}: {seconds * 1e3:8.2f} ms")
     print()
     print(system.telemetry.summary())
     if args.profile is not None:
+        snapshot = system.telemetry.snapshot()
         print()
-        print(render_profile(system.telemetry.snapshot().spans, top=args.profile))
+        print(render_profile(snapshot.spans, top=args.profile))
+        solver_block = render_solver_stats(snapshot.counters, snapshot.gauges)
+        if solver_block:
+            print()
+            print(solver_block)
     if args.jsonl:
         system.telemetry.export_jsonl(args.jsonl)
         print(f"\nevent log written to {args.jsonl}")
@@ -314,6 +354,8 @@ def _cmd_mobility(args: argparse.Namespace) -> int:
         prefetch=not args.no_prefetch,
         channel_workers=args.workers,
         panel_size=args.panel_size,
+        adaptive_budget=args.adaptive_budget,
+        eval_backend=args.eval_backend,
     )
     result = mobility.run(config, jsonl=args.jsonl)
     code = finish(result, args.json, artifact_label="scenario results")
@@ -326,12 +368,36 @@ def _cmd_load(args: argparse.Namespace) -> int:
     from .core.errors import SurfOSError
     from .experiments.result import finish
     from .load import (
+        DEFAULT_SWEEP_RATES,
         LoadConfig,
         LoadHarness,
         SLOPolicy,
         build_model,
+        run_sweep,
         write_trace,
     )
+
+    if args.sweep:
+        try:
+            rates = (
+                tuple(float(r) for r in args.sweep_rates.split(","))
+                if args.sweep_rates
+                else DEFAULT_SWEEP_RATES
+            )
+            config_kwargs = {"queue_capacity": args.queue_capacity}
+            if args.window > 0:
+                config_kwargs["coalesce_window_s"] = args.window
+                config_kwargs["adaptive"] = None
+            result = run_sweep(
+                rates=rates,
+                requests_per_rate=args.requests,
+                seed=args.seed,
+                config=LoadConfig(**config_kwargs),
+            )
+        except (SurfOSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return finish(result, args.json, artifact_label="sweep results")
 
     try:
         model = build_model(
@@ -445,6 +511,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument(
         "--iterations", type=int, default=60, help="optimizer iteration budget"
+    )
+    trace.add_argument(
+        "--adaptive-budget",
+        action="store_true",
+        help=(
+            "enable drift-aware adaptive solve budgets and trace a second "
+            "warm pass (solver.* stats land in --profile output)"
+        ),
     )
     trace.add_argument(
         "--profile",
@@ -613,6 +687,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--panel-size", type=int, default=8, help="elements per surface side"
     )
     mobility.add_argument(
+        "--adaptive-budget",
+        action="store_true",
+        help=(
+            "drift-aware adaptive solve budgets with early stop "
+            "(same-seed results stay byte-identical)"
+        ),
+    )
+    mobility.add_argument(
+        "--eval-backend",
+        choices=("thread", "process"),
+        default=None,
+        help="candidate-evaluation backend (bit-identical results)",
+    )
+    mobility.add_argument(
         "--jsonl",
         metavar="FILE",
         help="export the sim-only (wall-clock-free) event log",
@@ -709,6 +797,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         metavar="S",
         help="fixed coalesce window; 0 = adaptive (default)",
+    )
+    load.add_argument(
+        "--sweep",
+        action="store_true",
+        help=(
+            "offered-load sweep: replay the seeded Poisson workload over "
+            "an ascending rate ladder and report the saturation knee "
+            "(observational; never gated)"
+        ),
+    )
+    load.add_argument(
+        "--sweep-rates",
+        metavar="R1,R2,...",
+        help="comma-separated ascending rates for --sweep (req/s)",
     )
     load.add_argument(
         "--json", metavar="FILE", help="write the load summary as JSON"

@@ -66,11 +66,15 @@ class SurfOS:
         telemetry: Optional[Telemetry] = None,
         fault_injector=None,
         channel_workers: int = 0,
+        solve_budget=None,
     ):
         self.env = env
         self.frequency_hz = frequency_hz
         #: Thread-pool size for parallel channel-leg tracing (<=1 = serial).
         self.channel_workers = channel_workers
+        #: Optional :class:`~repro.orchestrator.SolveBudgetConfig` for
+        #: drift-aware adaptive solve budgets (None = fixed budgets).
+        self.solve_budget = solve_budget
         self.telemetry = telemetry or Telemetry()
         self.hardware = HardwareManager(
             telemetry=self.telemetry, fault_injector=fault_injector
@@ -100,6 +104,7 @@ class SurfOS:
         telemetry: Optional[Telemetry] = None,
         fault_injector=None,
         channel_workers: int = 0,
+        solve_budget=None,
         device_prefix: str = "",
         boot: bool = True,
     ) -> "SurfOS":
@@ -124,6 +129,7 @@ class SurfOS:
             telemetry=telemetry,
             fault_injector=fault_injector,
             channel_workers=channel_workers,
+            solve_budget=solve_budget,
         )
         system.scene = scene
         system.add_access_point(
@@ -184,6 +190,7 @@ class SurfOS:
             grid_spacing_m=self._grid_spacing,
             telemetry=self.telemetry,
             channel_workers=self.channel_workers,
+            solve_budget=self.solve_budget,
         )
         self.broker = ServiceBroker(self.orchestrator)
         self.translator = IntentTranslator(self.llm)

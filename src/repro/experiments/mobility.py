@@ -44,8 +44,9 @@ from ..geometry.vec import as_vec3
 from ..hwmgr.devices import ClientDevice
 from ..mobility import RandomWalk, WaypointWalker, churn_schedule
 from ..orchestrator.optimizers import RandomSearch
+from ..orchestrator.solvebudget import SolveBudgetConfig
 from ..orchestrator.tasks import reset_task_counter
-from ..pipeline import AdaptiveCoalesceConfig, PipelineConfig
+from ..pipeline import AdaptiveCoalesceConfig, EvaluationConfig, PipelineConfig
 from ..runtime.dynamics import Walker
 from ..services.connectivity import snr_map_db
 from ..telemetry import Telemetry
@@ -57,6 +58,23 @@ SOLVE_ITERATIONS = 24
 
 #: Link-SNR target asked of every mobile client's task.
 _LINK_SNR_DB = 20.0
+
+#: Drift band for ``adaptive_budget`` runs, calibrated on the bench
+#: workload: settled re-solves probe below ~0.5% drift (the residual
+#: from neighbouring panels' freshly pushed configs) and earn the floor
+#: budget; genuine motion probes 2–40% and earns the full ceiling.
+_DRIFT_LOW = 5e-3
+_DRIFT_HIGH = 5e-2
+
+
+def _solve_budget_config(config: "MobilityConfig") -> SolveBudgetConfig:
+    """The drift-aware budget profile for one mobility run."""
+    return SolveBudgetConfig(
+        enabled=True,
+        floor=max(2, config.solve_iterations // 12),
+        drift_low=_DRIFT_LOW,
+        drift_high=_DRIFT_HIGH,
+    )
 
 
 @dataclass(frozen=True)
@@ -84,6 +102,24 @@ class MobilityConfig:
             the "cold" baseline).
         measure_wall: record wall-clock reaction times (kept out of
             the summary; the bench reads them off the result).
+        adaptive_budget: drift-aware adaptive solve budgets + solution
+            memory + optimizer early-stop (off = fixed budgets,
+            byte-identical to the pre-feature control plane).
+        eval_backend: pipeline evaluation backend override (``thread``
+            or ``process``, parallelism 2); ``None`` keeps the default
+            serial evaluation.  Bit-identical either way.
+        client_pause_s: dwell seconds at each client waypoint (0 keeps
+            the legacy always-moving endpoints).  Dwells create
+            quiescent reactions where the objective goes static — the
+            regime adaptive budgets harvest.
+        search_scale: RandomSearch initial perturbation scale.
+        search_decay: RandomSearch scale decay on failed iterations —
+            lower values converge (and so plateau) within the budget.
+        early_stop_eps: relative-improvement early-stop threshold used
+            when ``adaptive_budget`` is on (``None`` disables the
+            stop; budgets still apply).
+        early_stop_patience: consecutive stalled iterations before the
+            early stop fires.
     """
 
     scene: str = "apartment"
@@ -102,6 +138,13 @@ class MobilityConfig:
     channel_workers: int = 0
     leg_cache_size: Optional[int] = None
     measure_wall: bool = False
+    adaptive_budget: bool = False
+    eval_backend: Optional[str] = None
+    client_pause_s: float = 0.0
+    search_scale: float = 1.0
+    search_decay: float = 0.9
+    early_stop_eps: Optional[float] = 1e-3
+    early_stop_patience: int = 2
 
 
 @dataclass
@@ -129,6 +172,15 @@ class MobilityResult(ExperimentResultBase):
     #: Wall-clock seconds of each daemon step that fired a reaction
     #: (only with ``measure_wall``); nondeterministic, bench-only.
     wall_reaction_s: List[float] = field(default_factory=list, repr=False)
+    #: Wall-clock seconds of each fired reaction's *optimize* phase
+    #: (only with ``measure_wall``); nondeterministic, bench-only.
+    wall_solve_s: List[float] = field(default_factory=list, repr=False)
+    #: Adaptive solve-budget totals over the run (``solver.*``
+    #: counters; all zero when ``adaptive_budget`` is off).
+    solver_budgeted_iterations: int = 0
+    solver_used_iterations: int = 0
+    solver_warm_hits: int = 0
+    solver_early_stops: int = 0
 
     @property
     def prefetch_hit_rate(self) -> float:
@@ -165,6 +217,11 @@ class MobilityResult(ExperimentResultBase):
             "reoptimize_failures": self.reoptimize_failures,
             "median_snr_db": round(self.median_snr_db, 6),
             "snr_digest": self.snr_digest,
+            "adaptive_budget": cfg.adaptive_budget,
+            "solver_budgeted_iterations": self.solver_budgeted_iterations,
+            "solver_used_iterations": self.solver_used_iterations,
+            "solver_warm_hits": self.solver_warm_hits,
+            "solver_early_stops": self.solver_early_stops,
         }
 
     def gate_failures(self) -> List[str]:
@@ -218,6 +275,20 @@ class MobilityResult(ExperimentResultBase):
             ),
             ("median SNR (dB)", f"{self.median_snr_db:.2f}"),
         ]
+        if cfg.adaptive_budget:
+            rows.append(
+                (
+                    "solver iters (used/budgeted)",
+                    f"{self.solver_used_iterations}"
+                    f"/{self.solver_budgeted_iterations}",
+                )
+            )
+            rows.append(
+                (
+                    "solver warm hits / early stops",
+                    f"{self.solver_warm_hits}/{self.solver_early_stops}",
+                )
+            )
         mode = "prefetch on" if cfg.prefetch else "prefetch off"
         if cfg.leg_cache_size == 0:
             mode = "cold (no leg cache)"
@@ -305,17 +376,30 @@ def build_system(
         config.scene,
         panel_size=config.panel_size,
         optimizer=RandomSearch(
-            max_iterations=config.solve_iterations, seed=config.seed
+            max_iterations=config.solve_iterations,
+            seed=config.seed,
+            initial_scale=config.search_scale,
+            decay=config.search_decay,
+            early_stop_eps=(
+                config.early_stop_eps if config.adaptive_budget else None
+            ),
+            early_stop_patience=config.early_stop_patience,
         ),
         grid_spacing_m=config.grid_spacing_m,
         telemetry=telemetry,
         channel_workers=config.channel_workers,
+        solve_budget=(
+            _solve_budget_config(config) if config.adaptive_budget else None
+        ),
     )
     if config.leg_cache_size is not None:
         system.orchestrator.simulator.leg_cache_size = config.leg_cache_size
-    system.attach_pipeline(
-        PipelineConfig(adaptive=AdaptiveCoalesceConfig())
-    )
+    pipeline_kwargs = {"adaptive": AdaptiveCoalesceConfig()}
+    if config.eval_backend:
+        pipeline_kwargs["evaluation"] = EvaluationConfig(
+            backend=config.eval_backend, parallelism=2
+        )
+    system.attach_pipeline(PipelineConfig(**pipeline_kwargs))
     scene = system.scene
     if config.walkers and not scene.walker_loops:
         raise ValueError(f"scene {scene.name!r} defines no walker loops")
@@ -342,7 +426,11 @@ def build_system(
         )
         system.dynamics.attach_client(
             client,
-            WaypointWalker(loop, speed_mps=1.0 + 0.1 * i),
+            WaypointWalker(
+                loop,
+                speed_mps=1.0 + 0.1 * i,
+                pauses=config.client_pause_s or None,
+            ),
         )
     system.orchestrator.optimize_coverage(scene.observe_room)
     for i in range(config.clients):
@@ -401,6 +489,7 @@ def run(
             record = daemon.step(config.dt_s)
             if config.measure_wall and record is not None:
                 result.wall_reaction_s.append(time.perf_counter() - start)
+                result.wall_solve_s.append(record.wall_solve_s)
             # Deterministic functional output: the observed-grid median
             # SNR under the live configurations.  This re-uses the
             # model the daemon's own observe() just built (cache hit)
@@ -434,6 +523,16 @@ def run(
         result.churn_arrivals = churn.arrivals
         result.churn_departures = churn.departures
     result.reoptimize_failures = daemon.reoptimize_failures
+    result.solver_budgeted_iterations = int(
+        telemetry.get_counter("solver.budget_iterations")
+    )
+    result.solver_used_iterations = int(
+        telemetry.get_counter("solver.used_iterations")
+    )
+    result.solver_warm_hits = int(telemetry.get_counter("solver.warm_hits"))
+    result.solver_early_stops = int(
+        telemetry.get_counter("solver.early_stops")
+    )
     if result.snr_trace:
         result.median_snr_db = result.snr_trace[-1]
     result.snr_digest = hashlib.sha1(

@@ -6,7 +6,9 @@ replay, burst), O(1)-per-event streaming :mod:`collectors
 <repro.load.collectors>`, :class:`SLOPolicy` gates, and the
 :class:`LoadHarness` that replays 10⁵–10⁶ requests through a modeled
 control plane sharing the real pipeline's coalescing and priority
-machinery.  See DESIGN.md §"Workloads, collectors, and SLO gates".
+machinery.  :func:`run_sweep` ladders the offered rate to locate the
+latency-vs-rate saturation knee (observational, never gated).  See
+DESIGN.md §"Workloads, collectors, and SLO gates".
 """
 
 from .collectors import (
@@ -30,12 +32,14 @@ from .models import (
     write_trace,
 )
 from .slo import SLOPolicy, SLOReport
+from .sweep import DEFAULT_SWEEP_RATES, SweepPoint, SweepResult, run_sweep
 
 __all__ = [
     "ArrivalModel",
     "BurstArrivals",
     "CollectorSet",
     "DEFAULT_CLASS_MIX",
+    "DEFAULT_SWEEP_RATES",
     "DiurnalArrivals",
     "FlashCrowdArrivals",
     "LatencyCollector",
@@ -49,6 +53,8 @@ __all__ = [
     "SatisfactionCollector",
     "SLOPolicy",
     "SLOReport",
+    "SweepPoint",
+    "SweepResult",
     "TraceReplay",
     "build_model",
     "read_trace",

@@ -1,0 +1,179 @@
+"""Offered-load sweeps: find the latency-vs-rate saturation knee.
+
+One :class:`LoadHarness` run answers "does this rate meet the SLO?";
+a sweep answers the capacity-planning question instead: *at what
+offered rate does the control plane saturate?*  :func:`run_sweep`
+replays the same seeded Poisson workload at each rate in an ascending
+ladder — a fresh harness and model per point, so points are fully
+independent and individually reproducible — and reports the **knee**:
+the first rate whose p99 latency exceeds ``knee_factor`` times the
+lowest-rate baseline p99.  Below the knee, latency is dominated by the
+coalescing window and solve cost; above it, queueing delay compounds
+and p99 grows superlinearly with rate.
+
+The sweep is observational, not gated: ``gate_failures()`` is always
+empty.  CI records the JSON summary as an artifact so capacity drift
+is visible across commits without flaking the build on a tuning
+threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.tables import render_table
+from ..core.errors import ServiceError
+from ..experiments.result import ExperimentResultBase
+from .harness import LoadConfig, LoadHarness
+from .models import PoissonArrivals
+
+__all__ = ["SweepPoint", "SweepResult", "run_sweep", "DEFAULT_SWEEP_RATES"]
+
+#: Default offered-rate ladder (req/s) — spans comfortably-below to
+#: well-past saturation for the default cost model.
+DEFAULT_SWEEP_RATES = (5.0, 10.0, 20.0, 40.0, 80.0, 160.0)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Measured outcome of one offered rate in the ladder."""
+
+    rate_hz: float
+    p50_s: float
+    p99_s: float
+    satisfaction: float
+    throughput_rps: float
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "rate_hz": self.rate_hz,
+            "p50_s": round(self.p50_s, 6),
+            "p99_s": round(self.p99_s, 6),
+            "satisfaction": round(self.satisfaction, 6),
+            "throughput_rps": round(self.throughput_rps, 4),
+        }
+
+
+@dataclass
+class SweepResult(ExperimentResultBase):
+    """Outcome of one offered-load sweep (ungated, observational)."""
+
+    points: List[SweepPoint]
+    requests_per_rate: int
+    seed: int
+    knee_factor: float
+    #: First rate whose p99 exceeds ``knee_factor`` x the baseline p99,
+    #: or None when the ladder never saturates.
+    knee_rate_hz: Optional[float]
+
+    @property
+    def baseline_p99_s(self) -> float:
+        return self.points[0].p99_s if self.points else 0.0
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "sweep.requests_per_rate": self.requests_per_rate,
+            "sweep.seed": self.seed,
+            "sweep.knee_factor": self.knee_factor,
+            "sweep.baseline_p99_s": round(self.baseline_p99_s, 6),
+            "sweep.knee_rate_hz": self.knee_rate_hz,
+            "sweep.points": [point.summary() for point in self.points],
+        }
+
+    def gate_failures(self) -> List[str]:
+        # Observational by design: the knee is recorded, never gated.
+        return []
+
+    def render(self) -> str:
+        rows: List[Tuple[str, ...]] = []
+        for point in self.points:
+            marker = (
+                " <- knee"
+                if self.knee_rate_hz is not None
+                and point.rate_hz == self.knee_rate_hz
+                else ""
+            )
+            rows.append(
+                (
+                    f"{point.rate_hz:g}",
+                    f"{point.p50_s:.4f}",
+                    f"{point.p99_s:.4f}{marker}",
+                    f"{point.satisfaction:.4f}",
+                    f"{point.throughput_rps:.2f}",
+                )
+            )
+        table = render_table(
+            ("rate (req/s)", "p50 (s)", "p99 (s)", "satisfaction", "served rps"),
+            rows,
+            title=(
+                f"Offered-load sweep: {self.requests_per_rate} req/rate "
+                f"(seed {self.seed})"
+            ),
+        )
+        if self.knee_rate_hz is not None:
+            verdict = (
+                f"saturation knee at {self.knee_rate_hz:g} req/s "
+                f"(p99 > {self.knee_factor:g}x baseline "
+                f"{self.baseline_p99_s:.4f}s)"
+            )
+        else:
+            verdict = (
+                f"no saturation knee up to {self.points[-1].rate_hz:g} req/s "
+                f"(p99 stayed within {self.knee_factor:g}x baseline)"
+            )
+        return f"{table}\n{verdict}"
+
+
+def run_sweep(
+    rates: Sequence[float] = DEFAULT_SWEEP_RATES,
+    requests_per_rate: int = 2000,
+    seed: int = 0,
+    config: Optional[LoadConfig] = None,
+    knee_factor: float = 2.0,
+) -> SweepResult:
+    """Sweep offered Poisson load over ``rates``; locate the knee.
+
+    Each rate gets a fresh :class:`LoadHarness` (and telemetry) over
+    the same ``seed``, so every point is independently reproducible and
+    the sweep as a whole is a pure function of its arguments.
+    """
+    ladder = [float(r) for r in rates]
+    if not ladder:
+        raise ServiceError("sweep needs at least one rate")
+    if any(r <= 0 for r in ladder):
+        raise ServiceError("sweep rates must be positive")
+    if ladder != sorted(ladder):
+        raise ServiceError("sweep rates must be ascending")
+    if knee_factor <= 1.0:
+        raise ServiceError("knee_factor must exceed 1")
+
+    points: List[SweepPoint] = []
+    for rate in ladder:
+        harness = LoadHarness(config)
+        model = PoissonArrivals(requests_per_rate, rate_hz=rate, seed=seed)
+        outcome = harness.run(model)
+        latency = outcome.collectors.latency.overall
+        points.append(
+            SweepPoint(
+                rate_hz=rate,
+                p50_s=latency.percentile(50.0),
+                p99_s=latency.percentile(99.0),
+                satisfaction=outcome.collectors.satisfaction.rate,
+                throughput_rps=outcome.throughput_rps,
+            )
+        )
+
+    baseline = points[0].p99_s
+    knee: Optional[float] = None
+    for point in points[1:]:
+        if point.p99_s > knee_factor * baseline:
+            knee = point.rate_hz
+            break
+    return SweepResult(
+        points=points,
+        requests_per_rate=requests_per_rate,
+        seed=seed,
+        knee_factor=knee_factor,
+        knee_rate_hz=knee,
+    )

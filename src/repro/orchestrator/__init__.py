@@ -22,6 +22,12 @@ from .optimizers import (
 )
 from .orchestrator import ReoptimizationResult, SurfaceOrchestrator
 from .scheduler import Scheduler
+from .solvebudget import (
+    BudgetController,
+    SolutionStore,
+    SolveBudgetConfig,
+    objective_digest,
+)
 from .virtualization import (
     Hypervisor,
     TenantOrchestrator,
@@ -33,6 +39,7 @@ from .tasks import ServiceTask, ServiceType, TaskState
 
 __all__ = [
     "Adam",
+    "BudgetController",
     "CoverageGoal",
     "CoverageObjective",
     "FiniteDifferenceObjective",
@@ -53,12 +60,15 @@ __all__ = [
     "ServiceType",
     "SimulatedAnnealing",
     "SliceAllocator",
+    "SolutionStore",
+    "SolveBudgetConfig",
     "SurfaceOrchestrator",
     "TenantOrchestrator",
     "TenantPolicy",
     "TaskState",
     "VirtualOrchestrator",
     "coefficients_from_phases",
+    "objective_digest",
     "optimize_surfaces",
     "panel_projection",
     "propose_slices",

@@ -39,6 +39,11 @@ class OptimizationResult:
         converged: whether the tolerance stop fired before the budget.
         evaluations: total objective evaluations spent, including the
             initial incumbent and the final projected evaluation.
+        budget: the iteration/step limit this run was allowed (the
+            optimizer's own full budget unless the caller passed a
+            smaller adaptive one; 0 for optimizers with no such limit).
+        early_stopped: whether the relative-improvement early stop
+            fired before the budget ran out.
     """
 
     phases: np.ndarray
@@ -47,6 +52,43 @@ class OptimizationResult:
     iterations: int = 0
     converged: bool = False
     evaluations: int = 0
+    budget: int = 0
+    early_stopped: bool = False
+
+
+class _EarlyStop:
+    """Relative-improvement convergence tracker for value-only search.
+
+    Stops once the best loss improves by less than
+    ``eps * max(|previous best|, tiny)`` for ``patience`` consecutive
+    checks.  ``eps=None`` disables tracking entirely (never stops).
+    The decision depends only on the loss stream, never on wall clock,
+    so it is deterministic across repeats, workers, and eval backends.
+    """
+
+    __slots__ = ("eps", "patience", "stall", "stopped")
+
+    #: Floor on the relative-improvement denominator near zero loss.
+    SCALE_FLOOR = 1e-12
+
+    def __init__(self, eps: Optional[float], patience: int):
+        self.eps = eps
+        self.patience = max(1, int(patience))
+        self.stall = 0
+        self.stopped = False
+
+    def update(self, previous_best: float, best: float) -> bool:
+        """Record one check; returns True once stopped."""
+        if self.eps is None or self.stopped:
+            return self.stopped
+        scale = max(abs(previous_best), self.SCALE_FLOOR)
+        if (previous_best - best) >= self.eps * scale:
+            self.stall = 0
+        else:
+            self.stall += 1
+            if self.stall >= self.patience:
+                self.stopped = True
+        return self.stopped
 
 
 class Optimizer:
@@ -62,9 +104,45 @@ class Optimizer:
         objective: Objective,
         initial_phases: np.ndarray,
         projection: Optional[Projection] = None,
+        budget: Optional[int] = None,
     ) -> OptimizationResult:
-        """Run the optimizer; always returns a projected, evaluated result."""
+        """Run the optimizer; always returns a projected, evaluated result.
+
+        ``budget`` caps the iteration/step count below the optimizer's
+        own limit (``None`` = full budget).  Budgets never raise the
+        limit, only lower it.
+        """
         raise NotImplementedError
+
+    @property
+    def full_budget(self) -> Optional[int]:
+        """The optimizer's own iteration/step limit (None = unbounded)."""
+        for attr in ("max_iterations", "steps"):
+            value = getattr(self, attr, None)
+            if value is not None:
+                return int(value)
+        return None
+
+    def _limit(self, budget: Optional[int]) -> Optional[int]:
+        """The effective iteration limit for one run under ``budget``."""
+        full = self.full_budget
+        if budget is None:
+            return full
+        if full is None:
+            return max(0, int(budget))
+        return max(0, min(int(budget), full))
+
+    @staticmethod
+    def _check_budgets(
+        budgets: Optional[List[Optional[int]]], count: int
+    ) -> List[Optional[int]]:
+        if budgets is None:
+            return [None] * count
+        if len(budgets) != count:
+            raise OptimizationError(
+                f"{count} objectives but {len(budgets)} budgets"
+            )
+        return list(budgets)
 
     def bind_telemetry(self, telemetry) -> None:
         """Attach a telemetry instance for objective-evaluation counters."""
@@ -96,15 +174,18 @@ class Optimizer:
         objectives: List[Objective],
         initial_phases: List[np.ndarray],
         projection: Optional[Projection] = None,
+        budgets: Optional[List[Optional[int]]] = None,
     ) -> List[OptimizationResult]:
         """Optimize several independent tasks over one phase space.
 
         Each (objective, initial) pair is an independent solve; results
         come back in input order and every trajectory is bit-identical
-        to calling :meth:`optimize` per pair.  The base implementation
-        *is* that serial loop; value-only optimizers override it with a
-        lockstep driver that stacks the per-task candidate batches into
-        one cross-task evaluation per iteration
+        to calling :meth:`optimize` per pair.  ``budgets`` optionally
+        caps each task's iterations (one entry per task, ``None`` =
+        full budget).  The base implementation *is* that serial loop;
+        value-only optimizers override it with a lockstep driver that
+        stacks the per-task candidate batches into one cross-task
+        evaluation per iteration
         (:class:`~repro.orchestrator.objectives.StackedObjective`).
         """
         if len(objectives) != len(initial_phases):
@@ -112,9 +193,12 @@ class Optimizer:
                 f"{len(objectives)} objectives but "
                 f"{len(initial_phases)} initial phase vectors"
             )
+        budgets = self._check_budgets(budgets, len(objectives))
         return [
-            self.optimize(objective, initial, projection)
-            for objective, initial in zip(objectives, initial_phases)
+            self.optimize(objective, initial, projection, budget=budget)
+            for objective, initial, budget in zip(
+                objectives, initial_phases, budgets
+            )
         ]
 
     def _value_many(self, objective: Objective, batch: np.ndarray) -> np.ndarray:
@@ -158,6 +242,8 @@ class Optimizer:
         converged: bool,
         projection: Optional[Projection],
         evaluations: int = 0,
+        budget: int = 0,
+        early_stopped: bool = False,
     ) -> OptimizationResult:
         if projection is not None:
             phases = projection(phases)
@@ -170,6 +256,8 @@ class Optimizer:
             iterations=iterations,
             converged=converged,
             evaluations=evaluations + 1,
+            budget=budget,
+            early_stopped=early_stopped,
         )
 
 
@@ -192,12 +280,13 @@ class GradientDescent(Optimizer):
     tolerance: float = 1e-7
     project_each_step: bool = False
 
-    def optimize(self, objective, initial_phases, projection=None):
+    def optimize(self, objective, initial_phases, projection=None, budget=None):
         phases = np.asarray(initial_phases, dtype=float).reshape(-1).copy()
         velocity = np.zeros_like(phases)
         history: List[float] = []
         converged = False
-        for iteration in range(self.max_iterations):
+        limit = self._limit(budget)
+        for iteration in range(limit):
             loss, grad = objective.value_and_gradient(phases)
             history.append(loss)
             if len(history) > 1 and abs(history[-2] - loss) < self.tolerance:
@@ -210,7 +299,7 @@ class GradientDescent(Optimizer):
         self._count_evals(len(history))
         return self._finalize(
             objective, phases, history, len(history), converged, projection,
-            evaluations=len(history),
+            evaluations=len(history), budget=limit,
         )
 
 
@@ -225,14 +314,15 @@ class Adam(Optimizer):
     max_iterations: int = 200
     tolerance: float = 1e-7
 
-    def optimize(self, objective, initial_phases, projection=None):
+    def optimize(self, objective, initial_phases, projection=None, budget=None):
         phases = np.asarray(initial_phases, dtype=float).reshape(-1).copy()
         m = np.zeros_like(phases)
         v = np.zeros_like(phases)
         history: List[float] = []
         best_phases, best_loss = phases.copy(), math.inf
         converged = False
-        for iteration in range(1, self.max_iterations + 1):
+        limit = self._limit(budget)
+        for iteration in range(1, limit + 1):
             loss, grad = objective.value_and_gradient(phases)
             history.append(loss)
             if loss < best_loss:
@@ -250,7 +340,7 @@ class Adam(Optimizer):
         self._count_evals(len(history))
         return self._finalize(
             objective, best_phases, history, len(history), converged, projection,
-            evaluations=len(history),
+            evaluations=len(history), budget=limit,
         )
 
 
@@ -274,8 +364,15 @@ class RandomSearch(Optimizer):
     #: to the serial per-task loop (independent RNG streams, same
     #: per-task chunk grids); disable to force the serial loop.
     lockstep: bool = True
+    #: Relative-improvement early stop: quit once the best loss improves
+    #: by less than ``early_stop_eps * |best|`` for
+    #: ``early_stop_patience`` consecutive iterations.  ``None``
+    #: disables the stop — bit-identical to the fixed-budget loop.
+    early_stop_eps: Optional[float] = None
+    early_stop_patience: int = 3
 
-    def optimize_many(self, objectives, initial_phases, projection=None):
+    def optimize_many(self, objectives, initial_phases, projection=None,
+                      budgets=None):
         from .objectives import StackedObjective
 
         if len(objectives) != len(initial_phases):
@@ -283,8 +380,11 @@ class RandomSearch(Optimizer):
                 f"{len(objectives)} objectives but "
                 f"{len(initial_phases)} initial phase vectors"
             )
+        budgets = self._check_budgets(budgets, len(objectives))
         if not self.lockstep or len(objectives) < 2:
-            return super().optimize_many(objectives, initial_phases, projection)
+            return super().optimize_many(
+                objectives, initial_phases, projection, budgets
+            )
         stacked = StackedObjective(objectives)
         tasks = len(objectives)
         # One RNG per task, all seeded exactly as the serial loop seeds
@@ -303,18 +403,36 @@ class RandomSearch(Optimizer):
         evaluations = [1] * tasks
         histories = [[loss] for loss in best_losses]
         scales = [self.initial_scale] * tasks
-        for _ in range(self.max_iterations):
-            candidates = []
-            for t in range(tasks):
+        limits = [self._limit(b) for b in budgets]
+        stops = [
+            _EarlyStop(self.early_stop_eps, self.early_stop_patience)
+            for _ in range(tasks)
+        ]
+        done = [0] * tasks
+        # Budgets and early stops retire tasks at different iterations;
+        # finished tasks drop out of the stacked batch (a None segment)
+        # while live tasks keep replaying their serial RNG streams —
+        # a stopped task simply never draws again, so the survivors'
+        # trajectories stay bit-identical to the serial per-task loop.
+        while True:
+            active = [
+                t for t in range(tasks)
+                if done[t] < limits[t] and not stops[t].stopped
+            ]
+            if not active:
+                break
+            candidates: List[Optional[np.ndarray]] = [None] * tasks
+            for t in active:
                 offsets = rngs[t].normal(
                     scale=scales[t], size=(self.population, phases[t].size)
                 )
-                candidates.append(phases[t][None, :] + offsets)
+                candidates[t] = phases[t][None, :] + offsets
             losses_per_task = self._value_many_segments(stacked, candidates)
-            self._count_evals(self.population * tasks)
-            for t in range(tasks):
+            self._count_evals(self.population * len(active))
+            for t in active:
                 losses = np.asarray(losses_per_task[t])
                 evaluations[t] += self.population
+                previous = best_losses[t]
                 j = int(np.argmin(losses))
                 if losses[j] < best_losses[t]:
                     best_losses[t] = float(losses[j])
@@ -322,16 +440,19 @@ class RandomSearch(Optimizer):
                 else:
                     scales[t] *= self.decay
                 histories[t].append(best_losses[t])
+                done[t] += 1
+                stops[t].update(previous, best_losses[t])
         return [
             self._finalize(
                 objectives[t], phases[t], histories[t],
                 len(histories[t]) - 1, False, projection,
-                evaluations=evaluations[t],
+                evaluations=evaluations[t], budget=limits[t],
+                early_stopped=stops[t].stopped,
             )
             for t in range(tasks)
         ]
 
-    def optimize(self, objective, initial_phases, projection=None):
+    def optimize(self, objective, initial_phases, projection=None, budget=None):
         rng = np.random.default_rng(self.seed)
         phases = np.asarray(initial_phases, dtype=float).reshape(-1).copy()
         best_loss = float(objective.value(phases))
@@ -339,21 +460,27 @@ class RandomSearch(Optimizer):
         evaluations = 1
         history = [best_loss]
         scale = self.initial_scale
-        for _ in range(self.max_iterations):
+        limit = self._limit(budget)
+        stop = _EarlyStop(self.early_stop_eps, self.early_stop_patience)
+        for _ in range(limit):
             offsets = rng.normal(scale=scale, size=(self.population, phases.size))
             candidates = phases[None, :] + offsets
             losses = self._value_many(objective, candidates)
             self._count_evals(self.population)
             evaluations += self.population
+            previous = best_loss
             j = int(np.argmin(losses))
             if losses[j] < best_loss:
                 best_loss, phases = float(losses[j]), candidates[j].copy()
             else:
                 scale *= self.decay
             history.append(best_loss)
+            if stop.update(previous, best_loss):
+                break
         return self._finalize(
             objective, phases, history, len(history) - 1, False, projection,
-            evaluations=evaluations,
+            evaluations=evaluations, budget=limit,
+            early_stopped=stop.stopped,
         )
 
 
@@ -385,8 +512,17 @@ class SimulatedAnnealing(Optimizer):
     #: only the still-active subset; trajectories stay bit-identical to
     #: the serial per-task loop.
     lockstep: bool = True
+    #: Relative-improvement early stop, checked once per speculative
+    #: *block* (patience counts blocks, not steps): a whole block —
+    #: proposals, normals, and acceptance uniforms — is drawn before
+    #: evaluation, so stopping at block granularity keeps the RNG
+    #: trajectory bit-identical between the serial and lockstep
+    #: drivers.  ``None`` disables.
+    early_stop_eps: Optional[float] = None
+    early_stop_patience: int = 3
 
-    def optimize_many(self, objectives, initial_phases, projection=None):
+    def optimize_many(self, objectives, initial_phases, projection=None,
+                      budgets=None):
         from .objectives import StackedObjective
 
         if len(objectives) != len(initial_phases):
@@ -394,8 +530,11 @@ class SimulatedAnnealing(Optimizer):
                 f"{len(objectives)} objectives but "
                 f"{len(initial_phases)} initial phase vectors"
             )
+        budgets = self._check_budgets(budgets, len(objectives))
         if not self.lockstep or len(objectives) < 2:
-            return super().optimize_many(objectives, initial_phases, projection)
+            return super().optimize_many(
+                objectives, initial_phases, projection, budgets
+            )
         if not 0.0 < self.subset_fraction <= 1.0:
             raise OptimizationError("subset_fraction must lie in (0, 1]")
         if self.speculation < 1:
@@ -421,17 +560,25 @@ class SimulatedAnnealing(Optimizer):
             max(1, int(round(self.subset_fraction * p.size))) for p in phases
         ]
         steps_done = [0] * tasks
+        limits = [self._limit(b) for b in budgets]
+        stops = [
+            _EarlyStop(self.early_stop_eps, self.early_stop_patience)
+            for _ in range(tasks)
+        ]
         # Accepted proposals cut a speculative block short, so tasks
         # drift apart in step count; each round stacks the blocks of
-        # whichever tasks still have budget.
+        # whichever tasks still have budget and haven't early-stopped.
         while True:
-            active = [t for t in range(tasks) if steps_done[t] < self.steps]
+            active = [
+                t for t in range(tasks)
+                if steps_done[t] < limits[t] and not stops[t].stopped
+            ]
             if not active:
                 break
             candidates: List[Optional[np.ndarray]] = [None] * tasks
             uniforms = [None] * tasks
             for t in active:
-                block = min(self.speculation, self.steps - steps_done[t])
+                block = min(self.speculation, limits[t] - steps_done[t])
                 rows = np.tile(phases[t], (block, 1))
                 for j in range(block):
                     idx = rngs[t].choice(
@@ -448,6 +595,7 @@ class SimulatedAnnealing(Optimizer):
                 block = len(candidates[t])
                 evaluations[t] += block
                 losses = np.asarray(losses_per_task[t])
+                previous = best_losses[t]
                 for j in range(block):
                     loss = float(losses[j])
                     accept = loss < current[t] or uniforms[t][j] < math.exp(
@@ -464,16 +612,18 @@ class SimulatedAnnealing(Optimizer):
                     temperatures[t] *= self.cooling
                     if accept:
                         break
+                stops[t].update(previous, best_losses[t])
         return [
             self._finalize(
                 objectives[t], best_phases[t], histories[t],
                 steps_done[t], False, projection,
-                evaluations=evaluations[t],
+                evaluations=evaluations[t], budget=limits[t],
+                early_stopped=stops[t].stopped,
             )
             for t in range(tasks)
         ]
 
-    def optimize(self, objective, initial_phases, projection=None):
+    def optimize(self, objective, initial_phases, projection=None, budget=None):
         if not 0.0 < self.subset_fraction <= 1.0:
             raise OptimizationError("subset_fraction must lie in (0, 1]")
         if self.speculation < 1:
@@ -488,8 +638,10 @@ class SimulatedAnnealing(Optimizer):
         temperature = self.initial_temperature
         subset = max(1, int(round(self.subset_fraction * phases.size)))
         steps_done = 0
-        while steps_done < self.steps:
-            block = min(self.speculation, self.steps - steps_done)
+        limit = self._limit(budget)
+        stop = _EarlyStop(self.early_stop_eps, self.early_stop_patience)
+        while steps_done < limit and not stop.stopped:
+            block = min(self.speculation, limit - steps_done)
             candidates = np.tile(phases, (block, 1))
             for j in range(block):
                 idx = rng.choice(phases.size, size=subset, replace=False)
@@ -500,6 +652,7 @@ class SimulatedAnnealing(Optimizer):
             losses = self._value_many(objective, candidates)
             self._count_evals(block)
             evaluations += block
+            previous = best_loss
             for j in range(block):
                 loss = float(losses[j])
                 accept = loss < current or uniforms[j] < math.exp(
@@ -514,9 +667,11 @@ class SimulatedAnnealing(Optimizer):
                 temperature *= self.cooling
                 if accept:
                     break
+            stop.update(previous, best_loss)
         return self._finalize(
             objective, best_phases, history, steps_done, False, projection,
-            evaluations=evaluations,
+            evaluations=evaluations, budget=limit,
+            early_stopped=stop.stopped,
         )
 
 

@@ -46,6 +46,14 @@ from .multiplex import MultiplexStrategy, propose_slices
 from .objectives import JointObjective, Objective
 from .optimizers import Adam, Optimizer
 from .scheduler import Scheduler
+from .solvebudget import (
+    BudgetController,
+    SolutionStore,
+    SolveBudgetConfig,
+    group_key,
+    objective_digest,
+    relative_drift,
+)
 from .tasks import ServiceTask, ServiceType, TaskState
 
 
@@ -91,6 +99,10 @@ class ReoptimizationResult(Mapping):
         pushed: whether configurations were queued to hardware.
         settle_s: control-delay settle time paid by the push (0 when
             nothing was pushed).
+        solver: adaptive solve-budget accounting for this pass —
+            ``budgeted_iterations``, ``used_iterations``, ``warm_hits``,
+            ``cold_starts``, ``early_stops``, ``drift_probes`` — empty
+            when adaptive budgets are disabled.
     """
 
     def __init__(
@@ -101,6 +113,7 @@ class ReoptimizationResult(Mapping):
         objective_evaluations: Optional[Dict[str, int]] = None,
         pushed: bool = False,
         settle_s: float = 0.0,
+        solver: Optional[Dict[str, int]] = None,
     ):
         self.joint = dict(joint)
         self.slots = {t: dict(entry) for t, entry in slots.items()}
@@ -108,6 +121,7 @@ class ReoptimizationResult(Mapping):
         self.objective_evaluations = dict(objective_evaluations or {})
         self.pushed = pushed
         self.settle_s = settle_s
+        self.solver = dict(solver or {})
 
     @property
     def live(self) -> Dict[str, SurfaceConfiguration]:
@@ -154,6 +168,7 @@ class SurfaceOrchestrator:
         telemetry: Optional[Telemetry] = None,
         channel_workers: int = 0,
         channel_leg_cache: int = 512,
+        solve_budget: Optional[SolveBudgetConfig] = None,
     ):
         self.env = env
         self.hardware = hardware
@@ -181,6 +196,9 @@ class SurfaceOrchestrator:
         self._contexts: Dict[str, _TaskContext] = {}
         self._dirty_tasks: set = set()
         self._admission_batch: Optional[_AdmissionBatch] = None
+        self.solve_budget = solve_budget or SolveBudgetConfig()
+        self._solutions = SolutionStore(self.solve_budget.store_size)
+        self._budget_controller = BudgetController(self.solve_budget)
         aps = hardware.access_points()
         if ap_id is None and len(aps) != 1:
             raise ServiceError(
@@ -521,6 +539,59 @@ class SurfaceOrchestrator:
             panels.append(panel)
         return panels
 
+    def _warm_start(
+        self,
+        task_key: str,
+        sid: str,
+        objective: Objective,
+        fallback: np.ndarray,
+        solver_stats: Dict[str, int],
+    ) -> Tuple[np.ndarray, Optional[int]]:
+        """Adaptive-budget lookup for one (task, panel) solve.
+
+        Re-scores the cached phases under the new objective, measures
+        drift against the cached score, and returns warm initial phases
+        plus the drift-scaled iteration budget.  A miss (no entry,
+        shape change, or an optimizer with no iteration limit) returns
+        the fallback phases and a full budget (``None``).
+        """
+        digest = objective_digest(objective)
+        entry = self._solutions.lookup(task_key, sid, digest)
+        full = self.optimizer.full_budget
+        if entry is None or full is None:
+            self.telemetry.counter("solver.cold_starts")
+            solver_stats["cold_starts"] = solver_stats.get("cold_starts", 0) + 1
+            return fallback, None
+        # One deterministic probe evaluation: the cached phases under
+        # the *new* objective.  Its distance from the cached score is
+        # the drift the budget scales with.
+        drift = relative_drift(float(objective.value(entry.phases)), entry.loss)
+        budget = self._budget_controller.budget(drift, full)
+        self.telemetry.counter("solver.drift_probes")
+        self.telemetry.counter("solver.warm_hits")
+        self.telemetry.gauge("solver.drift", round(drift, 9))
+        solver_stats["drift_probes"] = solver_stats.get("drift_probes", 0) + 1
+        solver_stats["warm_hits"] = solver_stats.get("warm_hits", 0) + 1
+        return entry.phases.copy(), budget
+
+    def _account_solver(
+        self, result, solver_stats: Dict[str, int]
+    ) -> None:
+        """Fold one adaptive solve's budget accounting into telemetry."""
+        self.telemetry.counter("solver.budget_iterations", result.budget)
+        self.telemetry.counter("solver.used_iterations", result.iterations)
+        solver_stats["budgeted_iterations"] = (
+            solver_stats.get("budgeted_iterations", 0) + result.budget
+        )
+        solver_stats["used_iterations"] = (
+            solver_stats.get("used_iterations", 0) + result.iterations
+        )
+        if result.early_stopped:
+            self.telemetry.counter("solver.early_stops")
+            solver_stats["early_stops"] = (
+                solver_stats.get("early_stops", 0) + 1
+            )
+
     def _optimize_group(
         self,
         model: ChannelModel,
@@ -528,6 +599,7 @@ class SurfaceOrchestrator:
         optimizable: Sequence[SurfacePanel],
         rounds: int,
         eval_counts: Optional[Dict[str, int]] = None,
+        solver_stats: Optional[Dict[str, int]] = None,
     ) -> Dict[str, np.ndarray]:
         """Block-coordinate search for one group of co-served tasks.
 
@@ -553,6 +625,10 @@ class SurfaceOrchestrator:
 
         from .optimizers import panel_projection
 
+        adaptive = self.solve_budget.enabled
+        solver_stats = {} if solver_stats is None else solver_stats
+        key = group_key(c.task.task_id for c in contexts)
+        budgets: Dict[str, Optional[int]] = {}
         forms = LinearFormCache(model, telemetry=self.telemetry)
         for round_index in range(rounds):
             for panel in optimizable:
@@ -574,21 +650,42 @@ class SurfaceOrchestrator:
                     joint = (
                         parts[0][0] if len(parts) == 1 else JointObjective(parts)
                     )
+                    budget = None
+                    if adaptive:
+                        if round_index == 0:
+                            phases[sid], budget = self._warm_start(
+                                key, sid, joint, phases[sid], solver_stats
+                            )
+                            budgets[sid] = budget
+                        else:
+                            # Later block-coordinate rounds continue the
+                            # round-0 solve under the same drift budget.
+                            budget = budgets.get(sid)
                     result = self.optimizer.optimize(
-                        joint, phases[sid], projection=panel_projection(panel)
+                        joint,
+                        phases[sid],
+                        projection=panel_projection(panel),
+                        budget=budget,
                     )
                     phases[sid] = result.phases
                     span.set(iterations=result.iterations, loss=result.loss)
-                self.telemetry.counter(
-                    "orchestrator.objective_evaluations",
-                    result.evaluations * len(contexts),
-                )
-                if eval_counts is not None:
-                    for ctx in contexts:
-                        task_id = ctx.task.task_id
-                        eval_counts[task_id] = (
-                            eval_counts.get(task_id, 0) + result.evaluations
-                        )
+                    self.telemetry.counter(
+                        "orchestrator.objective_evaluations",
+                        result.evaluations * len(contexts),
+                    )
+                    if eval_counts is not None:
+                        for ctx in contexts:
+                            task_id = ctx.task.task_id
+                            eval_counts[task_id] = (
+                                eval_counts.get(task_id, 0) + result.evaluations
+                            )
+                    if adaptive:
+                        self._account_solver(result, solver_stats)
+                        if round_index == rounds - 1:
+                            self._solutions.store(
+                                key, sid, objective_digest(joint),
+                                result.phases, result.loss,
+                            )
         return phases
 
     def _optimize_slotted(
@@ -598,6 +695,7 @@ class SurfaceOrchestrator:
         optimizable: Sequence[SurfacePanel],
         rounds: int,
         eval_counts: Optional[Dict[str, int]] = None,
+        solver_stats: Optional[Dict[str, int]] = None,
     ) -> Dict[str, Dict[str, np.ndarray]]:
         """Block-coordinate search for the time-division tasks, in lockstep.
 
@@ -631,6 +729,9 @@ class SurfaceOrchestrator:
                     out[sid] = panel.configuration.coefficients().reshape(-1)
             return out
 
+        adaptive = self.solve_budget.enabled
+        solver_stats = {} if solver_stats is None else solver_stats
+        task_budgets: Dict[Tuple[str, str], Optional[int]] = {}
         forms = LinearFormCache(model, telemetry=self.telemetry)
         for round_index in range(rounds):
             for panel in optimizable:
@@ -644,17 +745,33 @@ class SurfaceOrchestrator:
                     amplitudes = panel.configuration.amplitudes.reshape(-1)
                     objectives: List[Objective] = []
                     initials: List[np.ndarray] = []
+                    budgets: List[Optional[int]] = []
                     for ctx in contexts:
-                        state = states[ctx.task.task_id]
+                        task_id = ctx.task.task_id
+                        state = states[task_id]
                         form = forms.linear_form(sid, coeffs(state))
-                        objectives.append(
-                            self._task_objective(
-                                ctx, form, amplitudes, sid, model
-                            )
+                        objective = self._task_objective(
+                            ctx, form, amplitudes, sid, model
                         )
-                        initials.append(state[sid])
+                        initial = state[sid]
+                        budget = None
+                        if adaptive:
+                            if round_index == 0:
+                                initial, budget = self._warm_start(
+                                    task_id, sid, objective, initial,
+                                    solver_stats,
+                                )
+                                task_budgets[(task_id, sid)] = budget
+                            else:
+                                budget = task_budgets.get((task_id, sid))
+                        objectives.append(objective)
+                        initials.append(initial)
+                        budgets.append(budget)
                     results = self.optimizer.optimize_many(
-                        objectives, initials, projection=panel_projection(panel)
+                        objectives,
+                        initials,
+                        projection=panel_projection(panel),
+                        budgets=budgets if adaptive else None,
                     )
                     for ctx, result in zip(contexts, results):
                         states[ctx.task.task_id][sid] = result.phases
@@ -662,16 +779,27 @@ class SurfaceOrchestrator:
                         iterations=sum(r.iterations for r in results),
                         loss=sum(r.loss for r in results),
                     )
-                self.telemetry.counter(
-                    "orchestrator.objective_evaluations",
-                    sum(r.evaluations for r in results),
-                )
-                if eval_counts is not None:
-                    for ctx, result in zip(contexts, results):
-                        task_id = ctx.task.task_id
-                        eval_counts[task_id] = (
-                            eval_counts.get(task_id, 0) + result.evaluations
-                        )
+                    self.telemetry.counter(
+                        "orchestrator.objective_evaluations",
+                        sum(r.evaluations for r in results),
+                    )
+                    if eval_counts is not None:
+                        for ctx, result in zip(contexts, results):
+                            task_id = ctx.task.task_id
+                            eval_counts[task_id] = (
+                                eval_counts.get(task_id, 0) + result.evaluations
+                            )
+                    if adaptive:
+                        for ctx, objective, result in zip(
+                            contexts, objectives, results
+                        ):
+                            self._account_solver(result, solver_stats)
+                            if round_index == rounds - 1:
+                                self._solutions.store(
+                                    ctx.task.task_id, sid,
+                                    objective_digest(objective),
+                                    result.phases, result.loss,
+                                )
         return states
 
     def _phases_to_config(
@@ -716,6 +844,7 @@ class SurfaceOrchestrator:
             raise ServiceError("no active tasks to optimize for")
         timing: Dict[str, float] = {}
         eval_counts: Dict[str, int] = {}
+        solver_stats: Dict[str, int] = {}
         settle = 0.0
         with self.telemetry.span("reoptimize", tasks=len(contexts)) as root:
             panels = self.hardware.panels()
@@ -752,7 +881,8 @@ class SurfaceOrchestrator:
             ) as span:
                 if joint_contexts:
                     phases = self._optimize_group(
-                        model, joint_contexts, optimizable, rounds, eval_counts
+                        model, joint_contexts, optimizable, rounds,
+                        eval_counts, solver_stats,
                     )
                     for panel in optimizable:
                         new_configs[panel.panel_id] = self._phases_to_config(
@@ -764,7 +894,7 @@ class SurfaceOrchestrator:
                 if slotted_contexts:
                     slot_phases = self._optimize_slotted(
                         model, slotted_contexts, optimizable, rounds,
-                        eval_counts,
+                        eval_counts, solver_stats,
                     )
                     for ctx in slotted_contexts:
                         phases = slot_phases[ctx.task.task_id]
@@ -808,6 +938,7 @@ class SurfaceOrchestrator:
             objective_evaluations=eval_counts,
             pushed=push,
             settle_s=settle,
+            solver=solver_stats,
         )
 
     def _push_configurations(
@@ -1012,6 +1143,7 @@ class SurfaceOrchestrator:
         self.scheduler.complete(task_id)
         self._contexts.pop(task_id, None)
         self._dirty_tasks.discard(task_id)
+        self._solutions.forget_task(task_id)
 
     def tick(self, now: float) -> List[str]:
         """Advance time: commit in-flight writes, reap expired tasks."""
@@ -1021,4 +1153,5 @@ class SurfaceOrchestrator:
         for task_id in finished:
             self._contexts.pop(task_id, None)
             self._dirty_tasks.discard(task_id)
+            self._solutions.forget_task(task_id)
         return finished

@@ -44,6 +44,16 @@ class ReactionRecord:
     #: simulator's incremental leg cache); -1 when no simulator stats
     #: were available.
     legs_retraced: int = -1
+    #: Adaptive solve-budget accounting for this reaction, from the
+    #: orchestrator's :class:`ReoptimizationResult` (all zero when
+    #: adaptive budgets are disabled).
+    solver_budgeted_iterations: int = 0
+    solver_used_iterations: int = 0
+    solver_warm_hits: int = 0
+    solver_early_stops: int = 0
+    #: Wall-clock seconds spent in the optimize phase (the ``wall_``
+    #: prefix keeps it out of sim-only telemetry exports).
+    wall_solve_s: float = 0.0
 
     @property
     def reaction_latency_s(self) -> float:
@@ -192,10 +202,10 @@ class SurfOSDaemon:
         try:
             if trigger == "surface-degraded":
                 with self.telemetry.span("degraded-recovery") as span:
-                    self.orchestrator.reoptimize(now=self.clock.now)
+                    result = self.orchestrator.reoptimize(now=self.clock.now)
                     span.set(trigger=trigger)
             else:
-                self.orchestrator.reoptimize(now=self.clock.now)
+                result = self.orchestrator.reoptimize(now=self.clock.now)
         except ServiceError as exc:
             # Degraded-mode guarantee: a reoptimization that cannot be
             # satisfied (e.g. every panel dead) degrades service, it
@@ -220,6 +230,7 @@ class SurfOSDaemon:
             median_snr_before_db=float(np.median(snrs_before)),
             median_snr_after_db=float(np.median(snrs_after)),
             legs_retraced=self._legs_delta(legs_before),
+            **self._solver_fields(result),
         )
         self.reactions.append(record)
         self.telemetry.counter("daemon.reactions")
@@ -232,8 +243,40 @@ class SurfOSDaemon:
             median_snr_before_db=record.median_snr_before_db,
             median_snr_after_db=record.median_snr_after_db,
             legs_retraced=record.legs_retraced,
+            **self._solver_event_attrs(result, record),
         )
         return record
+
+    @staticmethod
+    def _solver_fields(result) -> Dict[str, float]:
+        """Adaptive-solve record fields from a reoptimization result."""
+        stats = dict(getattr(result, "solver", None) or {})
+        timing = dict(getattr(result, "timing", None) or {})
+        return {
+            "solver_budgeted_iterations": int(
+                stats.get("budgeted_iterations", 0)
+            ),
+            "solver_used_iterations": int(stats.get("used_iterations", 0)),
+            "solver_warm_hits": int(stats.get("warm_hits", 0)),
+            "solver_early_stops": int(stats.get("early_stops", 0)),
+            "wall_solve_s": float(timing.get("optimize_s", 0.0)),
+        }
+
+    @staticmethod
+    def _solver_event_attrs(result, record: ReactionRecord) -> Dict[str, int]:
+        """``daemon.reaction`` attrs for adaptive solves.
+
+        Empty when adaptive budgets are off, so the disabled path emits
+        byte-identical telemetry to a daemon without the feature.
+        """
+        if not getattr(result, "solver", None):
+            return {}
+        return {
+            "solver_budgeted_iterations": record.solver_budgeted_iterations,
+            "solver_used_iterations": record.solver_used_iterations,
+            "solver_warm_hits": record.solver_warm_hits,
+            "solver_early_stops": record.solver_early_stops,
+        }
 
     def _legs_retraced_total(self) -> int:
         """Legs traced so far by the orchestrator's channel simulator."""
@@ -289,6 +332,7 @@ class SurfOSDaemon:
             median_snr_before_db=float(np.median(snrs_before)),
             median_snr_after_db=float(np.median(snrs_after)),
             legs_retraced=self._legs_delta(legs_before),
+            **self._solver_fields(tick.result),
         )
         self.reactions.append(record)
         self.telemetry.counter("daemon.reactions")
@@ -301,6 +345,7 @@ class SurfOSDaemon:
             median_snr_before_db=record.median_snr_before_db,
             median_snr_after_db=record.median_snr_after_db,
             coalesced=len(tick.coalesced),
+            **self._solver_event_attrs(tick.result, record),
         )
         return record
 

@@ -19,7 +19,13 @@ from .core import (
     TelemetrySnapshot,
 )
 from .histogram import StreamingHistogram
-from .report import load_jsonl, render_profile, render_report, span_self_times
+from .report import (
+    load_jsonl,
+    render_profile,
+    render_report,
+    render_solver_stats,
+    span_self_times,
+)
 
 __all__ = [
     "NULL_SPAN",
@@ -32,5 +38,6 @@ __all__ = [
     "load_jsonl",
     "render_profile",
     "render_report",
+    "render_solver_stats",
     "span_self_times",
 ]

@@ -117,6 +117,42 @@ def render_profile(spans: Dict[str, SpanStats], top: int = 10) -> str:
     )
 
 
+def render_solver_stats(
+    counters: Dict[str, object], gauges: Dict[str, object]
+) -> Optional[str]:
+    """The ``solver.*`` adaptive-budget stats, as a table.
+
+    Collects the drift-aware solve-budget namespace (budgeted vs used
+    iterations, warm hits, cold starts, early stops, last drift) plus a
+    derived budget-utilization row.  Returns ``None`` when no solver
+    stats were recorded (adaptive budgets off), so callers can skip the
+    block entirely.
+    """
+    rows = [
+        (name, _format_metric(value))
+        for name, value in sorted(counters.items())
+        if name.startswith("solver.")
+    ]
+    rows.extend(
+        (name, _format_metric(value))
+        for name, value in sorted(gauges.items())
+        if name.startswith("solver.")
+    )
+    if not rows:
+        return None
+    budgeted = counters.get("solver.budget_iterations", 0) or 0
+    used = counters.get("solver.used_iterations", 0) or 0
+    if budgeted:
+        rows.append(
+            ("solver.budget_utilization", f"{float(used) / budgeted:.3f}")
+        )
+    return render_table(
+        ("solver stat", "value"),
+        rows,
+        title="Solver: adaptive budgets",
+    )
+
+
 def render_report(records: List[Dict[str, object]]) -> str:
     """Render a full human-readable report from exported records."""
     spans, snapshot = _aggregate_spans(records)

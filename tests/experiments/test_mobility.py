@@ -94,6 +94,69 @@ def test_unknown_scene_is_rejected():
         mobility.run(mobility.MobilityConfig(scene="penthouse", **FAST))
 
 
+def test_adaptive_budget_same_seed_byte_identical(tmp_path):
+    _, a = _run(tmp_path, "ada.jsonl", adaptive_budget=True)
+    _, b = _run(tmp_path, "adb.jsonl", adaptive_budget=True)
+    assert open(a, "rb").read() == open(b, "rb").read()
+
+
+def test_adaptive_budget_worker_count_identity(tmp_path):
+    serial, a = _run(
+        tmp_path, "adw1.jsonl", adaptive_budget=True, channel_workers=1
+    )
+    pooled, b = _run(
+        tmp_path, "adw4.jsonl", adaptive_budget=True, channel_workers=4
+    )
+    assert serial.snr_digest == pooled.snr_digest
+    assert open(a, "rb").read() == open(b, "rb").read()
+
+
+def test_adaptive_budget_eval_backend_identity(tmp_path):
+    threaded, a = _run(
+        tmp_path, "adt.jsonl", adaptive_budget=True, eval_backend="thread"
+    )
+    processed, b = _run(
+        tmp_path, "adp.jsonl", adaptive_budget=True, eval_backend="process"
+    )
+    assert threaded.snr_digest == processed.snr_digest
+    assert open(a, "rb").read() == open(b, "rb").read()
+
+
+def test_adaptive_budget_skips_iterations_and_reports_stats():
+    adaptive, _ = _run(adaptive_budget=True)
+    assert adaptive.reactions > 0
+    assert adaptive.reoptimize_failures == 0
+    assert adaptive.solver_warm_hits > 0
+    assert 0 < adaptive.solver_used_iterations < (
+        adaptive.solver_budgeted_iterations
+    )
+    summary = adaptive.summary()
+    assert summary["adaptive_budget"] is True
+    assert summary["solver_warm_hits"] == adaptive.solver_warm_hits
+    assert "wall_solve_s" not in summary
+
+
+def test_disabled_adaptive_leaves_solver_stats_zero():
+    fixed, _ = _run()
+    assert fixed.solver_budgeted_iterations == 0
+    assert fixed.solver_warm_hits == 0
+
+
+def test_client_pause_and_search_knobs_change_the_trajectory():
+    # The bench workload knobs are real: dwells and a converging search
+    # produce a different (still gated, still deterministic) run.
+    base, _ = _run(walkers=0)
+    dwell, _ = _run(
+        walkers=0, client_pause_s=1.5, search_scale=0.5, search_decay=0.7
+    )
+    again, _ = _run(
+        walkers=0, client_pause_s=1.5, search_scale=0.5, search_decay=0.7
+    )
+    assert dwell.snr_digest != base.snr_digest
+    assert dwell.snr_digest == again.snr_digest
+    assert dwell.reoptimize_failures == 0
+
+
 def test_summary_shape():
     result, _ = _run()
     summary = result.summary()

@@ -1,0 +1,173 @@
+"""Units for the drift-aware solve-budget machinery."""
+
+import numpy as np
+import pytest
+
+from repro.channel import LinearChannelForm
+from repro.core.errors import ServiceError
+from repro.orchestrator import (
+    BudgetController,
+    SolutionStore,
+    SolveBudgetConfig,
+    objective_digest,
+)
+from repro.orchestrator.objectives import CoverageObjective, JointObjective
+from repro.orchestrator.solvebudget import group_key, relative_drift
+
+
+def coverage(points=3, elements=6, seed=0):
+    rng = np.random.default_rng(seed)
+    coeffs = 1e-4 * np.exp(1j * rng.uniform(0, 2 * np.pi, (points, 1, elements)))
+    form = LinearChannelForm("s", coeffs, np.zeros((points, 1), dtype=complex))
+    return CoverageObjective(form)
+
+
+class TestConfigValidation:
+    def test_defaults_disabled(self):
+        config = SolveBudgetConfig()
+        assert not config.enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"floor": 0},
+            {"floor": 8, "ceiling": 4},
+            {"drift_low": 0.5, "drift_high": 0.5},
+            {"drift_low": -0.1},
+            {"store_size": 0},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ServiceError):
+            SolveBudgetConfig(**kwargs)
+
+
+class TestBudgetController:
+    def controller(self, **kwargs):
+        return BudgetController(SolveBudgetConfig(enabled=True, **kwargs))
+
+    def test_cold_start_gets_full_budget(self):
+        assert self.controller(floor=4).budget(None, 60) == 60
+
+    def test_low_drift_gets_floor(self):
+        ctl = self.controller(floor=4, drift_low=0.02)
+        assert ctl.budget(0.0, 60) == 4
+        assert ctl.budget(0.02, 60) == 4
+
+    def test_high_drift_gets_ceiling(self):
+        ctl = self.controller(floor=4, drift_high=0.5)
+        assert ctl.budget(0.5, 60) == 60
+        assert ctl.budget(7.0, 60) == 60
+
+    def test_midband_interpolates_linearly(self):
+        ctl = self.controller(floor=10, drift_low=0.0, drift_high=1.0)
+        assert ctl.budget(0.5, 110) == 60  # exactly halfway
+        assert 10 < ctl.budget(0.25, 110) < 60
+
+    def test_ceiling_clamps_to_full_budget(self):
+        ctl = self.controller(floor=4, ceiling=100)
+        assert ctl.budget(None, 30) == 30
+
+    def test_explicit_ceiling_caps_below_full(self):
+        ctl = self.controller(floor=4, ceiling=20)
+        assert ctl.budget(None, 60) == 20
+        assert ctl.budget(9.0, 60) == 20
+
+    def test_floor_wins_over_tiny_full_budget(self):
+        # A full budget below the floor still grants the floor: the
+        # controller never hands out less than the polish minimum.
+        ctl = self.controller(floor=8)
+        assert ctl.budget(None, 2) == 8
+
+    def test_pure_function_of_inputs(self):
+        ctl = self.controller(floor=4)
+        assert all(
+            ctl.budget(0.1, 60) == ctl.budget(0.1, 60) for _ in range(5)
+        )
+
+
+class TestRelativeDrift:
+    def test_zero_for_identical_scores(self):
+        assert relative_drift(-3.2, -3.2) == 0.0
+
+    def test_scales_by_cached_magnitude(self):
+        assert relative_drift(-1.1, -1.0) == pytest.approx(0.1)
+        assert relative_drift(-110.0, -100.0) == pytest.approx(0.1)
+
+    def test_near_zero_cached_score_stays_finite(self):
+        assert np.isfinite(relative_drift(1.0, 0.0))
+
+
+class TestSolutionStore:
+    def test_roundtrip_hit(self):
+        store = SolutionStore(4)
+        digest = objective_digest(coverage())
+        store.store("t1", "s1", digest, np.arange(4.0), -2.5)
+        entry = store.lookup("t1", "s1", digest)
+        assert entry is not None
+        assert entry.loss == -2.5
+        np.testing.assert_array_equal(entry.phases, np.arange(4.0))
+        assert store.hits == 1 and store.misses == 0
+
+    def test_digest_mismatch_is_miss(self):
+        store = SolutionStore(4)
+        store.store("t1", "s1", objective_digest(coverage(points=3)),
+                    np.zeros(4), 0.0)
+        assert store.lookup(
+            "t1", "s1", objective_digest(coverage(points=5))
+        ) is None
+        assert store.misses == 1
+
+    def test_stored_phases_are_copies(self):
+        store = SolutionStore(4)
+        phases = np.arange(3.0)
+        store.store("t1", "s1", ("d",), phases, 0.0)
+        phases[0] = 99.0
+        assert store.lookup("t1", "s1", ("d",)).phases[0] == 0.0
+
+    def test_lru_eviction_drops_oldest(self):
+        store = SolutionStore(2)
+        store.store("t1", "s1", ("d",), np.zeros(2), 0.0)
+        store.store("t2", "s1", ("d",), np.zeros(2), 0.0)
+        store.lookup("t1", "s1", ("d",))  # refresh t1
+        store.store("t3", "s1", ("d",), np.zeros(2), 0.0)  # evicts t2
+        assert store.lookup("t1", "s1", ("d",)) is not None
+        assert store.lookup("t2", "s1", ("d",)) is None
+        assert len(store) == 2
+
+    def test_forget_task_drops_singleton_and_group_keys(self):
+        store = SolutionStore(8)
+        store.store("t1", "s1", ("d",), np.zeros(2), 0.0)
+        store.store(group_key(["t1", "t2"]), "s1", ("d",), np.zeros(2), 0.0)
+        store.store("t2", "s2", ("d",), np.zeros(2), 0.0)
+        assert store.forget_task("t1") == 2
+        assert len(store) == 1
+        assert store.lookup("t2", "s2", ("d",)) is not None
+
+
+class TestKeysAndDigests:
+    def test_group_key_sorts_members(self):
+        assert group_key(["b", "a"]) == group_key(["a", "b"])
+        assert group_key(["a"]) != "a"  # prefixed, never collides
+
+    def test_digest_stable_across_coefficient_changes(self):
+        # Same shape, different channel coefficients: the digest must
+        # match — coefficient drift is the probe's job, not the key's.
+        assert objective_digest(coverage(seed=0)) == objective_digest(
+            coverage(seed=9)
+        )
+
+    def test_digest_changes_with_shape(self):
+        assert objective_digest(coverage(points=3)) != objective_digest(
+            coverage(points=4)
+        )
+        assert objective_digest(coverage(elements=6)) != objective_digest(
+            coverage(elements=8)
+        )
+
+    def test_joint_digest_covers_parts_and_weights(self):
+        a = JointObjective([(coverage(), 0.7), (coverage(points=5), 0.3)])
+        b = JointObjective([(coverage(), 0.7), (coverage(points=5), 0.3)])
+        c = JointObjective([(coverage(), 0.5), (coverage(points=5), 0.5)])
+        assert objective_digest(a) == objective_digest(b)
+        assert objective_digest(a) != objective_digest(c)
